@@ -1,0 +1,70 @@
+"""Benchmark configuration.
+
+Every bench regenerates one figure of the paper (or an ablation) on the
+simulated cluster, prints the measured-vs-paper table, writes it under
+``benchmarks/out/``, and asserts the *shape* properties the paper claims.
+``pytest-benchmark`` wraps the whole figure generation, so the tracked
+number is host-side generation time (useful for regression detection; the
+scientific results are the simulated series in the tables).
+
+Set ``REPRO_BENCH_FULL=1`` for the full paper grid (more client counts and
+iterations; several minutes). The default profile keeps the suite fast
+while preserving every asserted shape.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    full: bool
+    fig3c_clients: tuple[int, ...]
+    fig3c_iterations: int
+    ablation_clients: tuple[int, ...]
+    ablation_iterations: int
+
+
+@pytest.fixture(scope="session")
+def profile() -> BenchProfile:
+    full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    if full:
+        return BenchProfile(
+            full=True,
+            fig3c_clients=(1, 4, 8, 12, 16, 20),
+            fig3c_iterations=25,
+            ablation_clients=(1, 2, 4, 8, 16),
+            ablation_iterations=15,
+        )
+    return BenchProfile(
+        full=False,
+        fig3c_clients=(1, 8, 20),
+        fig3c_iterations=8,
+        ablation_clients=(1, 4, 8),
+        ablation_iterations=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Print a figure table and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _publish(name: str, text: str) -> None:
+        print()
+        print(text)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _publish
+
+
+def roughly_nondecreasing(ys, tolerance=0.12) -> bool:
+    """Monotone up to small modeling noise."""
+    return all(b >= a * (1 - tolerance) for a, b in zip(ys, ys[1:]))

@@ -1,0 +1,41 @@
+"""Ablation A: lock-free versioning vs a global reader-writer lock.
+
+The design's raison d'être: the same cluster and striping, with the only
+difference being concurrency control. Under the global lock, concurrent
+writers serialize end-to-end and per-writer bandwidth collapses as 1/n;
+the paper's design keeps it nearly flat.
+"""
+
+from repro.bench.figures import ablation_lockfree, render_series_table
+
+
+def test_ablation_lockfree(benchmark, publish, profile):
+    fig = benchmark.pedantic(
+        ablation_lockfree,
+        kwargs=dict(
+            client_counts=profile.ablation_clients,
+            iterations=profile.ablation_iterations,
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    publish(
+        "ablation_lockfree", render_series_table(fig, y_format=lambda v: f"{v:.1f}")
+    )
+
+    lockfree = fig.series_by_label("lock-free (this system)").y
+    locked = fig.series_by_label("global RW lock").y
+    n = fig.series_by_label("global RW lock").x
+
+    # single writer: both systems are within the same physical envelope
+    assert 0.5 < locked[0] / lockfree[0] < 2.0
+
+    # the collapse: at the largest writer count the lock costs >= ~(n/2)x
+    assert locked[-1] < lockfree[-1] / (n[-1] / 2)
+
+    # lock-free stays nearly flat
+    assert lockfree[-1] > 0.7 * lockfree[0]
+    # locked bandwidth scales like 1/n (within 40% of the ideal collapse)
+    ideal = locked[0] / n[-1]
+    assert locked[-1] < ideal * 1.6

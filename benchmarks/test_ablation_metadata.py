@@ -1,0 +1,37 @@
+"""Ablation B: DHT-distributed metadata vs a centralized metadata server.
+
+The paper distributes tree nodes over a DHT so metadata access scales with
+providers. Concentrating all nodes on a single metadata server leaves the
+protocol identical but turns that server's CPU into the bottleneck under
+concurrent uncached readers.
+"""
+
+from repro.bench.figures import ablation_metadata, render_series_table
+
+
+def test_ablation_metadata(benchmark, publish, profile):
+    fig = benchmark.pedantic(
+        ablation_metadata,
+        kwargs=dict(
+            client_counts=profile.ablation_clients,
+            iterations=profile.ablation_iterations,
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    publish(
+        "ablation_metadata", render_series_table(fig, y_format=lambda v: f"{v:.1f}")
+    )
+
+    distributed = fig.series_by_label("distributed (20 providers)").y
+    centralized = fig.series_by_label("centralized (1 provider)").y
+
+    # with one reader the difference is modest
+    assert centralized[0] > 0.5 * distributed[0]
+    # under maximum concurrency the central server throttles readers
+    assert centralized[-1] < 0.85 * distributed[-1]
+    # distributed metadata keeps per-client bandwidth nearly flat
+    assert distributed[-1] > 0.7 * distributed[0]
+    # centralized degrades monotonically with concurrency
+    assert all(b <= a * 1.05 for a, b in zip(centralized, centralized[1:]))

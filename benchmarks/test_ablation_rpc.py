@@ -1,0 +1,29 @@
+"""Ablation C: the aggregating RPC framework on/off.
+
+Paper §V.A: "there is a tradeoff between striping and streaming.
+Dispersing data too fine grained might not pay off because of RPC call
+overhead. For this reason we use [a] lightweight custom RPC framework,
+which delays RPC calls to a single machine and streams all of them in a
+single real RPC call." Disabling aggregation makes every tree-node put its
+own wire RPC, each paying full fixed overhead.
+"""
+
+from repro.bench.figures import ablation_rpc_aggregation, render_series_table
+from repro.util.sizes import human_size
+
+
+def test_ablation_rpc_aggregation(benchmark, publish):
+    fig = benchmark.pedantic(
+        ablation_rpc_aggregation, rounds=1, iterations=1, warmup_rounds=0
+    )
+    publish("ablation_rpc", render_series_table(fig, x_format=human_size))
+
+    aggregated = fig.series_by_label("aggregated RPCs").y
+    naive = fig.series_by_label("one RPC per node").y
+
+    # aggregation wins at every size, and the gap widens with node count
+    for agg, plain in zip(aggregated, naive):
+        assert agg < plain
+    assert naive[-1] / aggregated[-1] > naive[0] / aggregated[0]
+    # at 16 MB (hundreds of nodes) the win is large
+    assert naive[-1] > 1.6 * aggregated[-1]

@@ -1,0 +1,39 @@
+"""Figure 3(a): metadata overhead for READs, single client.
+
+Paper workload (§V.C): 1 TB blob, 64 KB pages; one client reads segments
+of 64 KB … 16 MB; 10/20/40 nodes each hosting one data + one metadata
+provider. Plotted: time for metadata to be completely read.
+
+Paper shape: time grows with segment size; a larger provider count
+*slightly increases* the client's cost (more connections to manage), and
+the effect is small compared to the client's own per-node processing.
+"""
+
+from benchmarks.conftest import roughly_nondecreasing
+from repro.bench.figures import PAPER_PROVIDER_COUNTS, fig3a_metadata_read, render_series_table
+from repro.util.sizes import human_size
+
+
+def test_fig3a_metadata_read(benchmark, publish):
+    fig = benchmark.pedantic(
+        fig3a_metadata_read, rounds=1, iterations=1, warmup_rounds=0
+    )
+    publish("fig3a_metadata_read", render_series_table(fig, x_format=human_size))
+
+    for n in PAPER_PROVIDER_COUNTS:
+        ys = fig.series_by_label(f"{n} providers").y
+        # grows with segment size, substantially over the sweep
+        assert roughly_nondecreasing(ys)
+        assert ys[-1] > 3 * ys[0]
+        # magnitude: same regime as the paper's 0.005-0.12 s band
+        assert all(0.001 < y < 0.5 for y in ys)
+
+    # provider-count effect at the largest segment: more providers cost
+    # slightly more (connection management), never less than ~equal
+    y10 = fig.series_by_label("10 providers").y[-1]
+    y20 = fig.series_by_label("20 providers").y[-1]
+    y40 = fig.series_by_label("40 providers").y[-1]
+    assert y40 > y10
+    assert y40 >= y20 >= y10 * 0.98
+    # ... and the effect is small (the paper's curves nearly coincide)
+    assert y40 < 1.5 * y10

@@ -1,0 +1,34 @@
+"""Figure 3(b): metadata overhead for WRITEs, single client.
+
+Same workload as 3(a) with writes. Plotted: time from version assignment
+to all metadata tree nodes stored (includes building the woven subtree).
+
+Paper shape: grows with segment size; **more metadata providers improve
+the cost** — the aggregating RPC framework spreads the node puts over more
+providers working in parallel (§V.C), the opposite provider-count effect
+from Figure 3(a).
+"""
+
+from benchmarks.conftest import roughly_nondecreasing
+from repro.bench.figures import fig3b_metadata_write, render_series_table
+from repro.util.sizes import human_size
+
+
+def test_fig3b_metadata_write(benchmark, publish):
+    fig = benchmark.pedantic(
+        fig3b_metadata_write, rounds=1, iterations=1, warmup_rounds=0
+    )
+    publish("fig3b_metadata_write", render_series_table(fig, x_format=human_size))
+
+    for label in ("10 providers", "20 providers", "40 providers"):
+        ys = fig.series_by_label(label).y
+        assert roughly_nondecreasing(ys, tolerance=0.2)  # small sizes are noisy
+        assert ys[-1] > 3 * ys[0]
+        assert all(0.001 < y < 0.5 for y in ys)
+
+    # provider-count effect at the largest segment: more providers help
+    y10 = fig.series_by_label("10 providers").y[-1]
+    y20 = fig.series_by_label("20 providers").y[-1]
+    y40 = fig.series_by_label("40 providers").y[-1]
+    assert y10 > y40
+    assert y10 >= y20 >= y40 * 0.98

@@ -1,0 +1,47 @@
+"""Figure 3(c): throughput of concurrent clients.
+
+Paper workload (§V.D): 1 TB blob, 64 KB pages, 20 provider nodes; up to 20
+concurrent clients loop over disjoint 8 MB segments within a 1 GB window.
+Series: uncached Read (the paper's worst case), Write, and Read with the
+client-side metadata cache.
+
+Paper shape: "the per client bandwidth hardly decreases when the number of
+concurrent clients significantly increases"; cached reads are the fastest;
+everything lives in the 50-85 MB/s band against a 117.5 MB/s wire.
+"""
+
+from repro.bench.figures import fig3c_throughput, render_series_table
+
+
+def test_fig3c_throughput(benchmark, publish, profile):
+    fig = benchmark.pedantic(
+        fig3c_throughput,
+        kwargs=dict(
+            client_counts=profile.fig3c_clients,
+            iterations=profile.fig3c_iterations,
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    publish(
+        "fig3c_throughput", render_series_table(fig, y_format=lambda v: f"{v:.1f}")
+    )
+
+    read = fig.series_by_label("Read").y
+    write = fig.series_by_label("Write").y
+    cached = fig.series_by_label("Read (cached metadata)").y
+
+    # series ordering at every client count: cached reads fastest, then
+    # writes, then uncached reads (metadata descent on the critical path)
+    for r, w, c in zip(read, write, cached):
+        assert c > w > r
+
+    # the headline: per-client bandwidth hardly decreases 1 -> 20 clients
+    for ys in (read, write, cached):
+        assert ys[-1] > 0.72 * ys[0]
+
+    # magnitudes in the paper's regime (50-85 MB/s band, 117.5 MB/s wire)
+    assert all(40 < y < 100 for y in read + write + cached)
+    # cached reads approach but never exceed the effective wire ceiling
+    assert all(y < 95 for y in cached)

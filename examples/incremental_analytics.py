@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Incremental analytics with snapshot diffing.
+
+Large-scale continuous data mining (one of the paper's target domains,
+§I) rarely wants to reprocess a terabyte per update. Because snapshots
+share every untouched subtree and child references carry version labels,
+two snapshots can be *structurally diffed* in O(changed metadata):
+``changed_ranges(client, blob, v_old, v_new)`` walks both trees at once
+and prunes every shared subtree without fetching it.
+
+This example maintains a running statistic (per-region checksums) over a
+64 MB dataset and, after each batch of updates, reprocesses only the
+regions the diff reports — verifying against a full recompute.
+
+It also shows the file-like API (`BlobFile`) for sequential ingest.
+
+Run: python examples/incremental_analytics.py
+"""
+
+import zlib
+
+from repro import DeploymentSpec, build_inproc
+from repro.core.blobfile import open_blob
+from repro.util.rng import substream
+from repro.util.sizes import KB, MB, human_size
+from repro.version.diff import changed_ranges
+
+TOTAL = 64 * MB
+PAGE = 64 * KB
+REGION = 1 * MB  # analytics granularity
+N_REGIONS = TOTAL // REGION
+
+
+def region_checksums(client, blob, version, regions):
+    """(Re)compute the per-region statistic for the given region indices."""
+    out = {}
+    for r in regions:
+        data = client.read_bytes(blob, r * REGION, REGION, version=version)
+        out[r] = zlib.crc32(data)
+    return out
+
+
+def main() -> None:
+    dep = build_inproc(DeploymentSpec(n_data=6, n_meta=6))
+    client = dep.client("analyst")
+    blob = client.alloc(TOTAL, PAGE)
+    rng = substream(7, "batches")
+
+    # initial ingest through the file-like API
+    with open_blob(client, blob, mode="w") as f:
+        for r in range(N_REGIONS):
+            f.seek(r * REGION)
+            f.write(bytes([r % 251]) * REGION)
+    v0 = client.latest(blob)
+    print(f"ingested {human_size(TOTAL)} -> version {v0}")
+
+    stats = region_checksums(client, blob, v0, range(N_REGIONS))
+    print(f"initial statistics over {N_REGIONS} regions computed\n")
+
+    current = v0
+    for batch in range(1, 4):
+        # a batch of random page-aligned updates lands
+        n_updates = int(rng.integers(2, 6))
+        for _ in range(n_updates):
+            page = int(rng.integers(0, TOTAL // PAGE))
+            client.write(blob, bytes([batch * 40 + 1]) * PAGE, page * PAGE)
+        new_version = client.latest(blob)
+
+        # structural diff: which byte ranges did this batch touch?
+        deltas = changed_ranges(client, blob, current, new_version)
+        touched_regions = sorted(
+            {iv.offset // REGION for iv in deltas}
+            | {(iv.end - 1) // REGION for iv in deltas}
+        )
+        changed_bytes = sum(iv.size for iv in deltas)
+        print(f"batch {batch}: {n_updates} updates -> v{new_version}; diff "
+              f"reports {human_size(changed_bytes)} changed in "
+              f"{len(deltas)} run(s); reprocessing "
+              f"{len(touched_regions)}/{N_REGIONS} regions")
+
+        # incremental update of the statistic
+        stats.update(
+            region_checksums(client, blob, new_version, touched_regions)
+        )
+
+        # verify against a full recompute of the new snapshot
+        full = region_checksums(client, blob, new_version, range(N_REGIONS))
+        assert stats == full, "incremental result diverged from full recompute"
+        print(f"  incremental statistics verified against full recompute")
+        current = new_version
+
+    print("\nall batches processed incrementally — O(changed) instead of "
+          f"O({human_size(TOTAL)}) per batch")
+
+
+if __name__ == "__main__":
+    main()

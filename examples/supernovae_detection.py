@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The paper's motivating application: finding supernovae (§I).
+
+A synthetic telescope surveys a 3x3-tile sky for ten epochs. Every epoch
+is written into one terabyte-class blob (tiles concatenated, 2D -> 1D
+mapping) and becomes an immutable snapshot; the analysis then differences
+epochs against the reference, tracks variable objects, extracts their
+light curves across snapshots, and separates supernovae (single
+asymmetric outburst) from periodic variable stars.
+
+Ground truth is known (events are injected), so the script reports
+precision and recall at the end.
+
+Run: python examples/supernovae_detection.py
+"""
+
+from repro import DeploymentSpec, build_inproc
+from repro.sky import SkyModel, SkySpec, SupernovaPipeline
+from repro.util.sizes import human_size
+
+EPOCHS = 10
+
+
+def main() -> None:
+    spec = SkySpec(tiles_x=3, tiles_y=3, seed=2026)
+    model = SkyModel.with_random_events(
+        spec, n_supernovae=4, n_variables=5, epochs=EPOCHS
+    )
+    print(f"synthetic sky: {spec.tiles_x}x{spec.tiles_y} tiles of "
+          f"{spec.tile_width}x{spec.tile_height} px "
+          f"({human_size(spec.tile_bytes)} each)")
+    print(f"injected ground truth: {len(model.supernovae)} supernovae, "
+          f"{len(model.variables)} variable stars\n")
+
+    dep = build_inproc(DeploymentSpec(n_data=8, n_meta=8))
+    pipe = SupernovaPipeline(model, dep.client("survey"))
+    print(f"sky blob: {human_size(pipe.mapping.blob_size)} logical, "
+          f"tile slot {human_size(pipe.mapping.tile_slot_bytes)}\n")
+
+    report = pipe.run_campaign(epochs=EPOCHS)
+
+    print("epoch -> published blob version:")
+    for epoch, version in enumerate(report.epoch_versions):
+        print(f"  epoch {epoch:2d}  version {version}")
+
+    print(f"\ntracked {len(report.tracks)} variable objects:")
+    for track in report.tracks:
+        peak = max(track.curve) if track.curve is not None else 0.0
+        print(f"  tile {track.tile}  ({track.x:6.1f}, {track.y:6.1f})  "
+              f"hits={track.hits:2d}  peak_flux={peak:8.0f}  -> {track.label}")
+
+    print(f"\ninjected supernovae   : {report.true_supernovae}")
+    print(f"claimed supernovae    : {report.claimed_supernovae}")
+    print(f"correctly matched     : {report.matched_supernovae}")
+    print(f"precision             : {report.precision:.2f}")
+    print(f"recall                : {report.recall:.2f}")
+    print(f"\nblob I/O: wrote {human_size(report.bytes_written)}, "
+          f"read {human_size(report.bytes_read)} "
+          f"(snapshots let the scan re-read any epoch at will)")
+
+
+if __name__ == "__main__":
+    main()

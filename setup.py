@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable builds (which need ``bdist_wheel``) fail. This shim plus
+the legacy install path (``pip install -e . --no-use-pep517
+--no-build-isolation``, preconfigured in pip.conf) keeps
+``pip install -e .`` working without network access. Metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,232 @@
+"""Global reader-writer-lock baseline.
+
+Two artifacts:
+
+- :class:`InMemoryLockedBlob`: the conventional shared-string design in
+  one process — a single RW lock, in-place updates, no versions. Used by
+  tests and examples to contrast semantics (readers observe torn history
+  ordering-wise: only the newest state exists).
+- :class:`LockedClusterSim`: the performance baseline on the simulated
+  cluster. Data movement is identical to the lock-free system's data phase
+  (pages striped over providers, NIC-accurate transfers); the difference
+  is a global lock around every access. Writers serialize end-to-end, so
+  aggregate write bandwidth is one client's bandwidth regardless of client
+  count — the collapse ablation bench A measures.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Generator, Literal
+
+from repro.core.config import DeploymentSpec
+from repro.sim.engine import Event, Simulator
+from repro.sim.network import ClusterSpec, Network, SimNode
+
+Kind = Literal["read", "write"]
+
+
+# ---------------------------------------------------------------------------
+# functional baseline
+# ---------------------------------------------------------------------------
+
+
+class InMemoryLockedBlob:
+    """A flat byte array behind one reader-writer lock. No versioning.
+
+    The RW lock is writer-preferring and fair enough for tests; the point
+    is the *model*: one mutable string, exclusive writes, no snapshots.
+    """
+
+    def __init__(self, size: int) -> None:
+        self._buf = bytearray(size)
+        self._mutex = threading.Lock()
+        self._readers_done = threading.Condition(self._mutex)
+        self._writers_done = threading.Condition(self._mutex)
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._buf)
+
+    def read(self, offset: int, size: int) -> bytes:
+        with self._mutex:
+            while self._writer_active or self._writers_waiting:
+                self._writers_done.wait()
+            self._active_readers += 1
+        try:
+            # shared section: concurrent readers copy freely
+            return bytes(self._buf[offset : offset + size])
+        finally:
+            with self._mutex:
+                self._active_readers -= 1
+                self.reads += 1
+                if self._active_readers == 0:
+                    self._readers_done.notify_all()
+
+    def write(self, data: bytes, offset: int) -> None:
+        with self._mutex:
+            self._writers_waiting += 1
+            while self._writer_active or self._active_readers:
+                self._readers_done.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            # exclusive section: in-place update, history destroyed
+            self._buf[offset : offset + len(data)] = data
+        finally:
+            with self._mutex:
+                self._writer_active = False
+                self.writes += 1
+                self._writers_done.notify_all()
+                self._readers_done.notify_all()
+
+
+# ---------------------------------------------------------------------------
+# simulated baseline
+# ---------------------------------------------------------------------------
+
+
+class SimRWLock:
+    """FIFO reader-writer lock on simulated time.
+
+    Requests are granted strictly in arrival order; consecutive readers at
+    the head of the queue are granted together (shared access), a writer
+    is granted alone.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._queue: deque[tuple[Kind, Event]] = deque()
+        self._active_readers = 0
+        self._writer_active = False
+        self.max_readers = 0
+
+    def acquire(self, kind: Kind) -> Event:
+        ev = self.sim.event()
+        self._queue.append((kind, ev))
+        self._drain()
+        return ev
+
+    def release(self, kind: Kind) -> None:
+        if kind == "write":
+            assert self._writer_active
+            self._writer_active = False
+        else:
+            assert self._active_readers > 0
+            self._active_readers -= 1
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._queue:
+            kind, ev = self._queue[0]
+            if kind == "write":
+                if self._writer_active or self._active_readers:
+                    return
+                self._queue.popleft()
+                self._writer_active = True
+                ev.succeed(None)
+                return
+            if self._writer_active:
+                return
+            self._queue.popleft()
+            self._active_readers += 1
+            self.max_readers = max(self.max_readers, self._active_readers)
+            ev.succeed(None)
+
+
+class LockedClusterSim:
+    """The lock-based system on the simulated cluster."""
+
+    def __init__(
+        self,
+        spec: DeploymentSpec | None = None,
+        cluster: ClusterSpec | None = None,
+    ) -> None:
+        self.spec = spec or DeploymentSpec()
+        self.sim = Simulator()
+        self.network = Network(self.sim, cluster)
+        self.lock_node = self.network.add_node("lock-manager")
+        self.lock = SimRWLock(self.sim)
+        self.provider_nodes = [
+            self.network.add_node(f"prov-{i}") for i in range(self.spec.n_data)
+        ]
+        self.client_nodes = [
+            self.network.add_node(f"client-{i}", role="client")
+            for i in range(self.spec.n_clients)
+        ]
+
+    def access_proto(
+        self, client_index: int, size: int, kind: Kind
+    ) -> Generator[Event, None, float]:
+        """One locked access; returns its duration in simulated seconds."""
+        sim, net, spec = self.sim, self.network, self.network.spec
+        client = self.client_nodes[client_index]
+        start = sim.now
+
+        # 1. global lock acquisition (request + grant over the wire)
+        yield from net.transfer(client, self.lock_node, 64)
+        yield self.lock_node.cpu.submit(spec.rpc_overhead)
+        yield self.lock.acquire(kind)
+        yield from net.transfer(self.lock_node, client, 64)
+
+        # 2. data phase: identical striping to the lock-free system
+        try:
+            per = size // len(self.provider_nodes)
+            rem = size % len(self.provider_nodes)
+            procs = []
+            for i, prov in enumerate(self.provider_nodes):
+                chunk = per + (1 if i < rem else 0)
+                if chunk == 0:
+                    continue
+                procs.append(
+                    sim.process(
+                        self._chunk_transfer(client, prov, chunk, kind),
+                        name=f"locked-{kind}-{i}",
+                    )
+                )
+            if procs:
+                yield sim.all_of(procs)
+        finally:
+            # 3. release (one-way message; lock state updates on delivery)
+            yield from net.transfer(client, self.lock_node, 32)
+            self.lock.release(kind)
+        return sim.now - start
+
+    def _chunk_transfer(
+        self, client: SimNode, prov: SimNode, chunk: int, kind: Kind
+    ) -> Generator[Event, None, None]:
+        spec = self.network.spec
+        if kind == "write":
+            yield client.cpu.submit(spec.rpc_overhead)
+            yield from self.network.transfer(client, prov, chunk)
+            yield prov.cpu.submit(spec.rpc_overhead + spec.server_byte_cpu * chunk)
+        else:
+            yield from self.network.transfer(client, prov, 64)  # request
+            yield prov.cpu.submit(spec.rpc_overhead + spec.server_byte_cpu * chunk)
+            yield from self.network.transfer(prov, client, chunk)
+            yield client.cpu.submit(spec.rpc_overhead)
+
+    def run_clients(
+        self, n_clients: int, iterations: int, size: int, kind: Kind
+    ) -> list[float]:
+        """Per-client mean bandwidth (MB/s) for a concurrent access loop."""
+        results: list[list[float]] = [[] for _ in range(n_clients)]
+
+        def client_loop(idx: int) -> Generator[Event, None, None]:
+            for _ in range(iterations):
+                duration = yield from self.access_proto(idx, size, kind)
+                results[idx].append(duration)
+
+        procs = [
+            self.sim.process(client_loop(i), name=f"client-{i}")
+            for i in range(n_clients)
+        ]
+        self.sim.run(until=self.sim.all_of(procs))
+        mb = size / (1 << 20)
+        return [mb * len(ds) / sum(ds) for ds in results]

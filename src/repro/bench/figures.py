@@ -1,0 +1,402 @@
+"""Figure generators: one function per paper figure + ablations.
+
+Each generator builds fresh simulated deployments, runs the paper's
+workload, and returns a :class:`FigureData` with measured series plus the
+paper's (approximately digitized) curves for side-by-side comparison. The
+bench targets under ``benchmarks/`` print these tables and assert shape
+properties; EXPERIMENTS.md records a snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.locked import LockedClusterSim
+from repro.bench.workloads import SegmentPicker, populate_window, run_concurrent_clients
+from repro.core.config import DeploymentSpec
+from repro.deploy.simulated import SimDeployment
+from repro.sim.network import ClusterSpec
+from repro.util.sizes import GB, KB, MB, TB, human_size
+
+#: the paper's testbed geometry
+PAPER_TOTAL_SIZE = 1 * TB
+PAPER_PAGESIZE = 64 * KB
+#: Figure 3(a)/(b) x-axis (segment sizes)
+PAPER_SEGMENT_SIZES = (64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB)
+#: Figure 3(a)/(b) provider counts
+PAPER_PROVIDER_COUNTS = (10, 20, 40)
+
+# Approximate values digitized from the published plots (seconds; MB/s for
+# 3c). Used for *shape* comparison only — the paper never tabulates them.
+PAPER_FIG3A = {
+    10: (0.006, 0.011, 0.021, 0.043, 0.092),
+    20: (0.007, 0.012, 0.023, 0.047, 0.100),
+    40: (0.008, 0.014, 0.026, 0.052, 0.110),
+}
+PAPER_FIG3B = {
+    10: (0.010, 0.018, 0.038, 0.080, 0.165),
+    20: (0.009, 0.015, 0.030, 0.062, 0.130),
+    40: (0.008, 0.013, 0.026, 0.053, 0.110),
+}
+PAPER_FIG3C_CLIENTS = (1, 4, 8, 12, 16, 20)
+PAPER_FIG3C = {
+    "read": (66.0, 65.0, 64.0, 63.0, 62.0, 61.0),
+    "write": (72.0, 71.0, 70.0, 69.0, 68.0, 67.0),
+    "read_cached": (84.0, 83.0, 82.5, 82.0, 81.5, 81.0),
+}
+
+
+@dataclass
+class Series:
+    label: str
+    x: list
+    y: list
+
+
+@dataclass
+class FigureData:
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+    paper: list[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+
+def render_series_table(fig: FigureData, x_format=str, y_format=None) -> str:
+    """Plain-text rendering of a figure: measured next to paper curves."""
+    y_format = y_format or (lambda v: f"{v:.4f}")
+    lines = [f"{fig.figure_id}: {fig.title}", f"  x = {fig.xlabel}; y = {fig.ylabel}"]
+    all_series = [(s, "measured") for s in fig.series] + [
+        (s, "paper") for s in fig.paper
+    ]
+    for s, origin in all_series:
+        lines.append(f"  [{origin}] {s.label}")
+        xs = "  ".join(f"{x_format(x):>10}" for x in s.x)
+        ys = "  ".join(f"{y_format(y):>10}" for y in s.y)
+        lines.append(f"    x: {xs}")
+        lines.append(f"    y: {ys}")
+    if fig.notes:
+        lines.append(f"  note: {fig.notes}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3(a): metadata overhead, single client, READs
+# ---------------------------------------------------------------------------
+
+
+def fig3a_metadata_read(
+    sizes: tuple[int, ...] = PAPER_SEGMENT_SIZES,
+    provider_counts: tuple[int, ...] = PAPER_PROVIDER_COUNTS,
+    cluster: ClusterSpec | None = None,
+) -> FigureData:
+    """Time for metadata to be completely read, vs segment size.
+
+    Workload (paper §V.C): 1 TB blob, 64 KB pages, a single client, N
+    nodes each hosting one data and one metadata provider; the client
+    writes then reads segments of growing size; we plot the tree-descent
+    phase of the READ.
+    """
+    fig = FigureData(
+        figure_id="Fig 3(a)",
+        title="Metadata overhead, single client: reads",
+        xlabel="segment size",
+        ylabel="time (s)",
+        notes="metadata phase of READ = version_resolved .. metadata_read",
+    )
+    for n in provider_counts:
+        dep = SimDeployment(
+            DeploymentSpec(n_data=n, n_meta=n, n_clients=1, cache_capacity=0),
+            cluster=cluster,
+        )
+        blob = dep.alloc_blob(PAPER_TOTAL_SIZE, PAPER_PAGESIZE)
+        client = dep.client(0, cached=False)
+        ys = []
+        for i, size in enumerate(sizes):
+            offset = i * GB  # independent regions of the 1 TB blob
+            client.write_virtual(blob, offset, size)
+            trace: dict[str, float] = {}
+            client.run(client.read_virtual_proto(blob, offset, size, trace=trace))
+            ys.append(trace["metadata_read"] - trace["version_resolved"])
+        fig.series.append(Series(f"{n} providers", list(sizes), ys))
+    for n, ys in PAPER_FIG3A.items():
+        if n in provider_counts:
+            fig.paper.append(Series(f"{n} providers", list(PAPER_SEGMENT_SIZES), list(ys)))
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figure 3(b): metadata overhead, single client, WRITEs
+# ---------------------------------------------------------------------------
+
+
+def fig3b_metadata_write(
+    sizes: tuple[int, ...] = PAPER_SEGMENT_SIZES,
+    provider_counts: tuple[int, ...] = PAPER_PROVIDER_COUNTS,
+    cluster: ClusterSpec | None = None,
+) -> FigureData:
+    """Time for metadata to be completely written, vs segment size.
+
+    The measured phase is version assignment → all tree nodes stored
+    (includes building the woven subtree client-side). More metadata
+    providers *reduce* this cost: the aggregated node puts spread over
+    more nodes working in parallel (paper §V.C).
+    """
+    fig = FigureData(
+        figure_id="Fig 3(b)",
+        title="Metadata overhead, single client: writes",
+        xlabel="segment size",
+        ylabel="time (s)",
+        notes="metadata phase of WRITE = version_assigned .. metadata_stored",
+    )
+    for n in provider_counts:
+        dep = SimDeployment(
+            DeploymentSpec(n_data=n, n_meta=n, n_clients=1, cache_capacity=0),
+            cluster=cluster,
+        )
+        blob = dep.alloc_blob(PAPER_TOTAL_SIZE, PAPER_PAGESIZE)
+        client = dep.client(0, cached=False)
+        ys = []
+        for i, size in enumerate(sizes):
+            offset = i * GB
+            trace: dict[str, float] = {}
+            client.run(client.write_virtual_proto(blob, offset, size, trace=trace))
+            ys.append(trace["metadata_stored"] - trace["version_assigned"])
+        fig.series.append(Series(f"{n} providers", list(sizes), ys))
+    for n, ys in PAPER_FIG3B.items():
+        if n in provider_counts:
+            fig.paper.append(Series(f"{n} providers", list(PAPER_SEGMENT_SIZES), list(ys)))
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figure 3(c): throughput of concurrent clients
+# ---------------------------------------------------------------------------
+
+
+def fig3c_throughput(
+    client_counts: tuple[int, ...] = PAPER_FIG3C_CLIENTS,
+    iterations: int = 25,
+    segment: int = 8 * MB,
+    window: int = 1 * GB,
+    providers: int = 20,
+    cluster: ClusterSpec | None = None,
+    kinds: tuple[str, ...] = ("read", "write", "read_cached"),
+) -> FigureData:
+    """Average per-client bandwidth vs number of concurrent clients.
+
+    Workload (paper §V.D): 1 TB blob, 64 KB pages, 20 provider nodes;
+    every client runs an unsynchronized loop over disjoint segments within
+    a 1 GB window. Three series: uncached reads (the paper's worst case:
+    "client-level caching has been totally disabled"), writes, and reads
+    with the client-side metadata cache.
+
+    ``iterations`` defaults below the paper's 100 to keep host runtime
+    sane; bandwidth is a per-op mean, so the estimate is unbiased.
+    """
+    fig = FigureData(
+        figure_id="Fig 3(c)",
+        title="Throughput of concurrent client access",
+        xlabel="concurrent clients",
+        ylabel="avg bandwidth per client (MB/s)",
+        notes=f"{human_size(segment)} segments in a {human_size(window)} window, "
+        f"{iterations}-iteration loop",
+    )
+    labels = {
+        "read": "Read",
+        "write": "Write",
+        "read_cached": "Read (cached metadata)",
+    }
+    for kind in kinds:
+        ys = []
+        for n in client_counts:
+            dep = SimDeployment(
+                DeploymentSpec(
+                    n_data=providers, n_meta=providers, n_clients=n, cache_capacity=0
+                ),
+                cluster=cluster,
+            )
+            blob = dep.alloc_blob(PAPER_TOTAL_SIZE, PAPER_PAGESIZE)
+            picker = SegmentPicker(window=window, segment=segment)
+            if kind != "write":
+                setup = dep.client(0, cached=False, name="populator")
+                populate_window(setup, blob, window, segment)
+            bandwidths = run_concurrent_clients(
+                dep,
+                blob,
+                n,
+                iterations,
+                picker,
+                kind="read" if kind != "write" else "write",
+                cached=(kind == "read_cached"),
+            )
+            ys.append(sum(bandwidths) / len(bandwidths))
+        fig.series.append(Series(labels[kind], list(client_counts), ys))
+    for kind in kinds:
+        fig.paper.append(
+            Series(
+                labels[kind], list(PAPER_FIG3C_CLIENTS), list(PAPER_FIG3C[kind])
+            )
+        )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Ablation A: lock-free versioning vs global reader-writer lock
+# ---------------------------------------------------------------------------
+
+
+def ablation_lockfree(
+    client_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+    iterations: int = 15,
+    segment: int = 8 * MB,
+    providers: int = 20,
+) -> FigureData:
+    """Per-client WRITE bandwidth: this system vs a global RW lock."""
+    fig = FigureData(
+        figure_id="Ablation A",
+        title="Lock-free versioning vs global RW lock (writes)",
+        xlabel="concurrent writers",
+        ylabel="avg bandwidth per client (MB/s)",
+        notes="same striping and cluster model; only concurrency control differs",
+    )
+    lockfree, locked = [], []
+    for n in client_counts:
+        dep = SimDeployment(
+            DeploymentSpec(n_data=providers, n_meta=providers, n_clients=n,
+                           cache_capacity=0)
+        )
+        blob = dep.alloc_blob(PAPER_TOTAL_SIZE, PAPER_PAGESIZE)
+        picker = SegmentPicker(segment=segment)
+        bw = run_concurrent_clients(dep, blob, n, iterations, picker, kind="write")
+        lockfree.append(sum(bw) / len(bw))
+
+        base = LockedClusterSim(
+            DeploymentSpec(n_data=providers, n_meta=1, n_clients=n)
+        )
+        bw2 = base.run_clients(n, iterations, segment, "write")
+        locked.append(sum(bw2) / len(bw2))
+    fig.series.append(Series("lock-free (this system)", list(client_counts), lockfree))
+    fig.series.append(Series("global RW lock", list(client_counts), locked))
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Ablation B: DHT-distributed vs centralized metadata
+# ---------------------------------------------------------------------------
+
+
+def ablation_metadata(
+    client_counts: tuple[int, ...] = (1, 4, 8, 16),
+    iterations: int = 15,
+    segment: int = 8 * MB,
+    providers: int = 20,
+) -> FigureData:
+    """Uncached READ bandwidth: 20 metadata providers vs a single one."""
+    fig = FigureData(
+        figure_id="Ablation B",
+        title="Distributed vs centralized metadata (uncached reads)",
+        xlabel="concurrent readers",
+        ylabel="avg bandwidth per client (MB/s)",
+        notes="centralized = all tree nodes on one metadata provider",
+    )
+    for label, n_meta in (("distributed (20 providers)", providers), ("centralized (1 provider)", 1)):
+        ys = []
+        for n in client_counts:
+            dep = SimDeployment(
+                DeploymentSpec(
+                    n_data=providers, n_meta=n_meta, n_clients=n,
+                    cache_capacity=0, colocate=False,
+                )
+            )
+            blob = dep.alloc_blob(PAPER_TOTAL_SIZE, PAPER_PAGESIZE)
+            picker = SegmentPicker(segment=segment)
+            setup = dep.client(0, cached=False, name="populator")
+            populate_window(setup, blob, picker.window, segment)
+            bw = run_concurrent_clients(dep, blob, n, iterations, picker, kind="read")
+            ys.append(sum(bw) / len(bw))
+        fig.series.append(Series(label, list(client_counts), ys))
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Ablation C: RPC aggregation on/off
+# ---------------------------------------------------------------------------
+
+
+def ablation_rpc_aggregation(
+    sizes: tuple[int, ...] = PAPER_SEGMENT_SIZES,
+    providers: int = 20,
+) -> FigureData:
+    """Metadata-write time with and without the aggregating RPC framework
+    (the 'tradeoff between striping and streaming' of paper §V.A)."""
+    fig = FigureData(
+        figure_id="Ablation C",
+        title="RPC aggregation on/off (metadata write phase)",
+        xlabel="segment size",
+        ylabel="time (s)",
+        notes="aggregation streams all sub-calls per destination in one RPC",
+    )
+    for label, aggregate in (("aggregated RPCs", True), ("one RPC per node", False)):
+        dep = SimDeployment(
+            DeploymentSpec(n_data=providers, n_meta=providers, n_clients=1,
+                           cache_capacity=0),
+            cluster=ClusterSpec(aggregate=aggregate),
+        )
+        blob = dep.alloc_blob(PAPER_TOTAL_SIZE, PAPER_PAGESIZE)
+        client = dep.client(0, cached=False)
+        ys = []
+        for i, size in enumerate(sizes):
+            trace: dict[str, float] = {}
+            client.run(client.write_virtual_proto(blob, i * GB, size, trace=trace))
+            ys.append(trace["metadata_stored"] - trace["version_assigned"])
+        fig.series.append(Series(label, list(sizes), ys))
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Ablation D: page-size sweep
+# ---------------------------------------------------------------------------
+
+
+def ablation_pagesize(
+    pagesizes: tuple[int, ...] = (16 * KB, 64 * KB, 256 * KB, 1 * MB),
+    segment: int = 8 * MB,
+    providers: int = 20,
+) -> FigureData:
+    """End-to-end WRITE and READ time of one segment vs page size.
+
+    Finer pages disperse better but multiply metadata; coarser pages do
+    the opposite — the striping-grain tradeoff behind the paper's choice
+    of 64 KB."""
+    fig = FigureData(
+        figure_id="Ablation D",
+        title="Page-size sweep (8 MB segment, end-to-end)",
+        xlabel="page size",
+        ylabel="time (s)",
+    )
+    wys, rys = [], []
+    for pagesize in pagesizes:
+        dep = SimDeployment(
+            DeploymentSpec(n_data=providers, n_meta=providers, n_clients=1,
+                           cache_capacity=0)
+        )
+        blob = dep.alloc_blob(PAPER_TOTAL_SIZE, pagesize)
+        client = dep.client(0, cached=False)
+        wtrace: dict[str, float] = {}
+        client.run(client.write_virtual_proto(blob, 0, segment, trace=wtrace))
+        wys.append(wtrace["done"] - wtrace["start"])
+        rtrace: dict[str, float] = {}
+        client.run(client.read_virtual_proto(blob, 0, segment, trace=rtrace))
+        rys.append(rtrace["done"] - rtrace["start"])
+    fig.series.append(Series("WRITE", list(pagesizes), wys))
+    fig.series.append(Series("READ (uncached)", list(pagesizes), rys))
+    return fig

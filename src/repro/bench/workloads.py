@@ -1,0 +1,122 @@
+"""Workload generators for the benchmark harness.
+
+Reproduces the paper's access patterns: single-client segment sweeps for
+the metadata-overhead experiments, and the concurrent-clients loop —
+"access various disjoint segments within a 1 GB interval of the data
+string in a 100-iteration loop" — for the throughput experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.deploy.simulated import SimClient, SimDeployment
+from repro.sim.engine import Event
+from repro.util.rng import substream
+from repro.util.sizes import GB
+
+
+@dataclass
+class SegmentPicker:
+    """Per-client pseudo-random disjoint segment selector.
+
+    The window is divided into ``window // segment`` slots; each client
+    walks its own seeded permutation of the slots, re-permuting every lap.
+    Concurrent clients therefore hit *different* slots at any instant
+    (disjoint segments, as in the paper) while all slots get used.
+    """
+
+    window: int = 1 * GB
+    segment: int = 8 << 20
+    base: int = 0
+    seed: int = 1234
+
+    def offsets(self, client_index: int) -> Generator[int, None, None]:
+        nslots = self.window // self.segment
+        if nslots < 1:
+            raise ValueError("window smaller than one segment")
+        rng = substream(self.seed, "picker", client_index)
+        while True:
+            for slot in rng.permutation(nslots):
+                yield self.base + int(slot) * self.segment
+
+
+def populate_window(
+    client: SimClient, blob_id: str, window: int, segment: int, base: int = 0
+) -> int:
+    """Pre-write a window so reads have data under them; returns versions
+    written. Runs synchronously on the simulated clock (setup phase)."""
+    versions = 0
+    for offset in range(base, base + window, segment):
+        client.write_virtual(blob_id, offset, segment)
+        versions += 1
+    return versions
+
+
+def client_access_loop(
+    dep: SimDeployment,
+    client: SimClient,
+    blob_id: str,
+    picker: SegmentPicker,
+    client_index: int,
+    iterations: int,
+    kind: str,
+    durations: list[float],
+) -> Generator[Event, None, None]:
+    """Simulated process: one client's unsynchronized access loop.
+
+    Appends each operation's simulated duration to ``durations``.
+    """
+    offsets = picker.offsets(client_index)
+    for _ in range(iterations):
+        offset = next(offsets)
+        start = dep.sim.now
+        if kind == "write":
+            proto = client.write_virtual_proto(blob_id, offset, picker.segment)
+        elif kind == "read":
+            proto = client.read_virtual_proto(blob_id, offset, picker.segment)
+        else:
+            raise ValueError(f"unknown access kind {kind!r}")
+        yield from dep.executor.run_protocol(proto, client.node)
+        durations.append(dep.sim.now - start)
+
+
+def run_concurrent_clients(
+    dep: SimDeployment,
+    blob_id: str,
+    n_clients: int,
+    iterations: int,
+    picker: SegmentPicker,
+    kind: str,
+    cached: bool = False,
+) -> list[float]:
+    """Run the paper's concurrent-clients experiment for one point.
+
+    Returns per-client mean bandwidth in MB/s. ``cached=True`` gives each
+    reader a metadata cache and a warm-up lap over every slot first (the
+    paper's "Read (cached metadata)" series; the uncached series disables
+    caching entirely, the paper's worst case).
+    """
+    clients = [
+        dep.client(i, cached=cached, name=f"{kind}-client-{i}")
+        for i in range(n_clients)
+    ]
+    if cached and kind == "read":
+        # Steady-state cached reads: warm each client's cache out of band
+        # (zero simulated time; the paper measures the warm regime).
+        for client in clients:
+            dep.warm_client_cache(client, blob_id)
+    per_client: list[list[float]] = [[] for _ in range(n_clients)]
+    procs = [
+        dep.sim.process(
+            client_access_loop(
+                dep, clients[i], blob_id, picker, i, iterations, kind, per_client[i]
+            ),
+            name=f"{kind}-loop-{i}",
+        )
+        for i in range(n_clients)
+    ]
+    dep.sim.run(until=dep.sim.all_of(procs))
+    mb = picker.segment / (1 << 20)
+    return [mb * len(ds) / sum(ds) for ds in per_client]

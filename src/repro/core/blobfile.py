@@ -1,0 +1,198 @@
+"""File-like access to a blob.
+
+The paper positions its service against distributed *file systems* (§I):
+applications expect a file-oriented API. :class:`BlobFile` provides one on
+top of the versioned blob — ``read`` / ``write`` / ``seek`` / ``tell`` with
+explicit snapshot semantics:
+
+- a file opened with ``version=`` is a **pinned immutable snapshot**: reads
+  are repeatable forever, writes are rejected;
+- a writable file buffers writes and publishes them as one blob WRITE per
+  ``flush()`` — so one flush == one snapshot, and ``flush()`` returns the
+  new version number;
+- unaligned flushes fall back to read-modify-write against the latest
+  snapshot (page-granularity last-writer-wins, as documented on
+  :meth:`~repro.core.client.BlobClient.write_unaligned`).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.client import BlobClient
+from repro.errors import ReproError
+from repro.version.manager import LATEST
+
+
+class BlobFile:
+    """Seekable file facade over one blob."""
+
+    def __init__(
+        self,
+        client: BlobClient,
+        blob_id: str,
+        mode: str = "r",
+        version: int = LATEST,
+    ) -> None:
+        if mode not in ("r", "r+", "w"):
+            raise ValueError(f"mode must be 'r', 'r+' or 'w', got {mode!r}")
+        self.client = client
+        self.blob_id = blob_id
+        self.mode = mode
+        self.geom = client.open(blob_id)
+        if mode == "r":
+            # pin: resolve LATEST once so reads are repeatable
+            self.version = (
+                client.latest(blob_id) if version == LATEST else version
+            )
+        else:
+            if version != LATEST:
+                raise ValueError("writable files always track the latest version")
+            self.version = LATEST
+        self._pos = 0
+        self._buffer: list[tuple[int, bytes]] = []  # (offset, pending bytes)
+        self._closed = False
+
+    # -- positioning -----------------------------------------------------
+
+    def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
+        if whence == io.SEEK_SET:
+            pos = offset
+        elif whence == io.SEEK_CUR:
+            pos = self._pos + offset
+        elif whence == io.SEEK_END:
+            pos = self.geom.total_size + offset
+        else:
+            raise ValueError(f"bad whence {whence!r}")
+        if pos < 0:
+            raise ValueError("negative seek position")
+        self._pos = pos
+        return pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    @property
+    def size(self) -> int:
+        """The blob's fixed logical size (files never grow or shrink)."""
+        return self.geom.total_size
+
+    # -- reading -----------------------------------------------------------
+
+    def read(self, size: int = -1) -> bytes:
+        self._check_open()
+        if self._buffer:
+            raise ReproError("flush() pending writes before reading")
+        remaining = self.geom.total_size - self._pos
+        if remaining <= 0:
+            return b""
+        n = remaining if size < 0 else min(size, remaining)
+        if n == 0:
+            return b""
+        version = self.version if self.mode == "r" else LATEST
+        data = self.client.read_bytes(self.blob_id, self._pos, n, version=version)
+        self._pos += n
+        return data
+
+    def readinto(self, buf) -> int:
+        data = self.read(len(buf))
+        buf[: len(data)] = data
+        return len(data)
+
+    # -- writing ------------------------------------------------------------
+
+    def write(self, data: bytes) -> int:
+        self._check_open()
+        if self.mode == "r":
+            raise ReproError("file opened read-only (a pinned snapshot)")
+        if not data:
+            return 0
+        end = self._pos + len(data)
+        if end > self.geom.total_size:
+            raise ReproError(
+                f"write past fixed blob size ({end} > {self.geom.total_size})"
+            )
+        self._buffer.append((self._pos, bytes(data)))
+        self._pos = end
+        return len(data)
+
+    def flush(self) -> int | None:
+        """Publish buffered writes as one snapshot; returns its version.
+
+        Contiguous buffered writes are coalesced; non-contiguous buffers
+        flush as successive snapshots in offset order.
+        """
+        self._check_open()
+        if not self._buffer:
+            return None
+        runs = self._coalesce()
+        self._buffer.clear()
+        version = None
+        for offset, data in runs:
+            if (
+                offset % self.geom.pagesize == 0
+                and len(data) % self.geom.pagesize == 0
+            ):
+                version = self.client.write(self.blob_id, data, offset).version
+            else:
+                version = self.client.write_unaligned(
+                    self.blob_id, data, offset
+                ).version
+        return version
+
+    def _coalesce(self) -> list[tuple[int, bytes]]:
+        """Merge buffered writes into disjoint runs, later writes winning
+        on overlap (write order, not offset order, decides)."""
+        runs: list[tuple[int, bytearray]] = []
+        for offset, data in self._buffer:
+            merged: list[tuple[int, bytearray]] = []
+            new_off, new_buf = offset, bytearray(data)
+            for run_off, run_buf in runs:
+                run_end = run_off + len(run_buf)
+                new_end = new_off + len(new_buf)
+                if run_end < new_off or new_end < run_off:
+                    merged.append((run_off, run_buf))  # disjoint, keep
+                    continue
+                # overlap or adjacency: splice the runs, new bytes win
+                lo = min(run_off, new_off)
+                hi = max(run_end, new_end)
+                combined = bytearray(hi - lo)
+                combined[run_off - lo : run_off - lo + len(run_buf)] = run_buf
+                combined[new_off - lo : new_off - lo + len(new_buf)] = new_buf
+                new_off, new_buf = lo, combined
+            merged.append((new_off, new_buf))
+            runs = merged
+        return [(off, bytes(buf)) for off, buf in sorted(runs)]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            if self.mode != "r":
+                self.flush()
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError("I/O operation on closed BlobFile")
+
+    def __enter__(self) -> "BlobFile":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        pin = f"@v{self.version}" if self.mode == "r" else "@latest"
+        return f"<BlobFile {self.blob_id}{pin} mode={self.mode} pos={self._pos}>"
+
+
+def open_blob(
+    client: BlobClient, blob_id: str, mode: str = "r", version: int = LATEST
+) -> BlobFile:
+    """Convenience constructor mirroring the built-in ``open``."""
+    return BlobFile(client, blob_id, mode=mode, version=version)

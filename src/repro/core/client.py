@@ -1,0 +1,177 @@
+"""Blocking client facade over the sans-io protocols.
+
+A :class:`BlobClient` binds a driver (in-process or threaded), a metadata
+router and a private metadata cache, and exposes the paper's primitives as
+ordinary methods. Many clients may share one driver — each keeps its own
+cache and write-uid sequence, exactly like independent client processes in
+the paper's deployment.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Sequence
+
+from repro.core.protocol import (
+    LATEST,
+    ReadResult,
+    WriteResult,
+    alloc_protocol,
+    fresh_write_uid,
+    read_protocol,
+    split_pages,
+    stat_protocol,
+    virtual_pages,
+    write_protocol,
+)
+from repro.core.gc import GCStats, gc_protocol
+from repro.metadata.cache import DEFAULT_CAPACITY, MetadataCache
+from repro.metadata.router import StaticRouter
+from repro.metadata.tree import TreeGeometry
+from repro.providers.page import PagePayload
+from repro.util.bits import align_down, align_up
+
+_client_seq = itertools.count(1)
+
+
+class BlobClient:
+    """One logical client of the blob service."""
+
+    def __init__(
+        self,
+        driver,
+        router: StaticRouter,
+        *,
+        name: str | None = None,
+        cache_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.driver = driver
+        self.router = router
+        self.name = name or f"client-{next(_client_seq)}"
+        self.cache: MetadataCache | None = (
+            MetadataCache(cache_capacity) if cache_capacity > 0 else None
+        )
+        self._geoms: dict[str, TreeGeometry] = {}
+        self._geom_lock = threading.Lock()
+
+    # -- blob lifecycle ---------------------------------------------------
+
+    def alloc(self, total_size: int, pagesize: int) -> str:
+        """Create a blob (paper's ALLOC); returns its globally unique id."""
+        blob_id = self.driver.run(alloc_protocol(total_size, pagesize))
+        with self._geom_lock:
+            self._geoms[blob_id] = TreeGeometry(total_size, pagesize)
+        return blob_id
+
+    def open(self, blob_id: str) -> TreeGeometry:
+        """Learn (and cache) the geometry of an existing blob."""
+        with self._geom_lock:
+            geom = self._geoms.get(blob_id)
+        if geom is None:
+            total_size, pagesize, _ = self.driver.run(stat_protocol(blob_id))
+            geom = TreeGeometry(total_size, pagesize)
+            with self._geom_lock:
+                self._geoms[blob_id] = geom
+        return geom
+
+    def geometry(self, blob_id: str) -> TreeGeometry:
+        return self.open(blob_id)
+
+    def latest(self, blob_id: str) -> int:
+        """Latest published version number."""
+        return self.driver.run(stat_protocol(blob_id))[2]
+
+    # -- WRITE -----------------------------------------------------------
+
+    def write(self, blob_id: str, data: bytes, offset: int) -> WriteResult:
+        """Page-aligned WRITE of real bytes; returns the assigned version."""
+        geom = self.open(blob_id)
+        return self.write_pages(blob_id, offset, split_pages(data, geom.pagesize))
+
+    def write_pages(
+        self, blob_id: str, offset: int, payloads: Sequence[PagePayload]
+    ) -> WriteResult:
+        geom = self.open(blob_id)
+        return self.driver.run(
+            write_protocol(
+                blob_id, geom, offset, payloads, self.router,
+                fresh_write_uid(self.name),
+            )
+        )
+
+    def write_virtual(self, blob_id: str, offset: int, size: int) -> WriteResult:
+        """WRITE with virtual payloads (protocol exercised, no real bytes)."""
+        geom = self.open(blob_id)
+        return self.write_pages(blob_id, offset, virtual_pages(size, geom.pagesize))
+
+    def write_unaligned(
+        self,
+        blob_id: str,
+        data: bytes,
+        offset: int,
+        base_version: int = LATEST,
+    ) -> WriteResult:
+        """Unaligned WRITE via read-modify-write of the boundary pages.
+
+        Extension beyond the paper (which writes whole pages): the head and
+        tail fragments are taken from ``base_version``; concurrent writers
+        to the same boundary pages resolve last-writer-wins at page
+        granularity. Snapshot semantics of the *aligned* region are
+        unchanged.
+        """
+        geom = self.open(blob_id)
+        if not data:
+            raise ValueError("write_unaligned requires non-empty data")
+        lo = align_down(offset, geom.pagesize)
+        hi = align_up(offset + len(data), geom.pagesize)
+        base = self.read(blob_id, lo, hi - lo, version=base_version)
+        assert base.data is not None
+        merged = bytearray(base.data)
+        merged[offset - lo : offset - lo + len(data)] = data
+        return self.write(blob_id, bytes(merged), lo)
+
+    # -- READ ------------------------------------------------------------
+
+    def read(
+        self,
+        blob_id: str,
+        offset: int,
+        size: int,
+        version: int = LATEST,
+        with_data: bool = True,
+    ) -> ReadResult:
+        """READ a segment out of snapshot ``version`` (default: latest)."""
+        geom = self.open(blob_id)
+        return self.driver.run(
+            read_protocol(
+                blob_id, geom, offset, size, self.router,
+                version=version, cache=self.cache, with_data=with_data,
+            )
+        )
+
+    def read_bytes(
+        self, blob_id: str, offset: int, size: int, version: int = LATEST
+    ) -> bytes:
+        result = self.read(blob_id, offset, size, version=version)
+        assert result.data is not None
+        return result.data
+
+    # -- garbage collection ------------------------------------------------
+
+    def gc(
+        self,
+        blob_id: str,
+        keep_versions: Sequence[int],
+        data_ids: Sequence[int],
+        meta_ids: Sequence[int],
+    ) -> GCStats:
+        """Client-ordered GC: drop everything unreachable from the kept
+        snapshots (paper lists GC as client-ordered; see repro.core.gc)."""
+        geom = self.open(blob_id)
+        return self.driver.run(
+            gc_protocol(
+                blob_id, geom, tuple(keep_versions), self.router,
+                tuple(data_ids), tuple(meta_ids),
+            )
+        )

@@ -1,0 +1,419 @@
+"""Sans-io READ / WRITE / ALLOC protocols (paper §III.B).
+
+These generators are the client algorithms of the paper, expressed once and
+executed by any driver (in-process, threaded, simulated). The interaction
+structure mirrors paper Figure 1 exactly:
+
+WRITE: provider manager (allocation) → data providers (pages, parallel) →
+version manager (version + border refs: the only serialization) → metadata
+providers (nodes, parallel) → version manager (success report).
+
+READ: version manager (latest/validation, the only centralized touch) →
+metadata providers (tree descent, one parallel batch per level) → data
+providers (pages, parallel).
+
+Replica fail-over: with ``replication > 1`` every fetch tries the primary
+owner and falls back to successive replicas on failure; the final attempt
+raises normally so genuine losses surface.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Sequence
+
+from repro.errors import RemoteError
+from repro.metadata.build import plan_write_tree
+from repro.metadata.cache import MetadataCache
+from repro.metadata.node import NodeKey, TreeNode
+from repro.metadata.router import StaticRouter
+from repro.metadata.tree import TreeGeometry
+from repro.net.message import estimate_size
+from repro.net.sansio import Address, Batch, Call, Compute, Mark, Op
+from repro.providers.page import PageKey, PagePayload
+from repro.util.intervals import Interval
+from repro.version.manager import LATEST, WriteTicket
+
+ADDR_VM: Address = "vm"
+ADDR_PM: Address = "pm"
+
+
+def data_addr(provider_id: int) -> Address:
+    return ("data", provider_id)
+
+
+@dataclass(frozen=True, slots=True)
+class WriteResult:
+    """Outcome of one WRITE."""
+
+    blob_id: str
+    version: int  # the paper's vw
+    latest_published: int  # latest published when the report was accepted
+    offset: int
+    size: int
+    pages_written: int
+    nodes_written: int
+
+    @property
+    def published(self) -> bool:
+        """True iff this snapshot was already published at report time."""
+        return self.latest_published >= self.version
+
+
+@dataclass(frozen=True, slots=True)
+class ReadResult:
+    """Outcome of one READ."""
+
+    blob_id: str
+    version: int  # effective snapshot read
+    latest: int  # the paper's vr (latest published at read time)
+    offset: int
+    size: int
+    data: bytes | None  # None for virtual reads
+    nodes_fetched: int
+    cache_hits: int
+    pages_fetched: int
+    zero_bytes: int  # bytes satisfied from the implicit all-zero version 0
+
+
+Proto = Generator[Op, Any, Any]
+
+
+# ---------------------------------------------------------------------------
+# ALLOC / stat
+# ---------------------------------------------------------------------------
+
+
+def alloc_protocol(total_size: int, pagesize: int) -> Proto:
+    """Allocate a fresh blob; returns its id (paper's ALLOC primitive)."""
+    (blob_id,) = yield Batch([Call(ADDR_VM, "vm.alloc", (total_size, pagesize))])
+    return blob_id
+
+
+def stat_protocol(blob_id: str) -> Proto:
+    """Fetch ``(total_size, pagesize, latest_published)``."""
+    (stat,) = yield Batch([Call(ADDR_VM, "vm.stat", (blob_id,))])
+    return stat
+
+
+# ---------------------------------------------------------------------------
+# WRITE
+# ---------------------------------------------------------------------------
+
+
+def write_protocol(
+    blob_id: str,
+    geom: TreeGeometry,
+    offset: int,
+    payloads: Sequence[PagePayload],
+    router: StaticRouter,
+    write_uid: str,
+    trace: dict[str, float] | None = None,
+) -> Proto:
+    """The WRITE of paper §III.B; returns a :class:`WriteResult`.
+
+    When ``trace`` is supplied it is filled with phase timestamps
+    (``start``, ``providers_allocated``, ``pages_stored``,
+    ``version_assigned``, ``metadata_stored``, ``done``) in the driver's
+    clock — simulated seconds under the simulator. Figure 3(b) plots
+    ``metadata_stored - version_assigned`` (building + storing metadata).
+    """
+    npages = len(payloads)
+    if npages == 0:
+        raise ValueError("WRITE requires at least one page")
+    for p in payloads:
+        if p.nbytes != geom.pagesize:
+            raise ValueError(
+                f"every payload must be exactly one page ({geom.pagesize} B); "
+                f"got {p.nbytes} B"
+            )
+    size = npages * geom.pagesize
+    patch = geom.check_aligned(offset, size)
+    first_page = offset // geom.pagesize
+
+    def mark(name: str):
+        if trace is not None:
+            t = yield Mark(name)
+            trace[name] = t
+
+    yield from mark("start")
+
+    # 1. ask the provider manager where the fresh pages should live
+    (groups,) = yield Batch(
+        [Call(ADDR_PM, "pm.get_providers", (blob_id, npages, geom.pagesize))]
+    )
+    yield from mark("providers_allocated")
+
+    # 2. store all pages in parallel (every replica of every page at once)
+    yield Compute("client.touch_page", npages)
+    page_calls = []
+    for i, payload in enumerate(payloads):
+        key = PageKey(blob_id, write_uid, first_page + i)
+        for provider_id in groups[i]:
+            page_calls.append(
+                Call(data_addr(provider_id), "data.put_page", (key, payload))
+            )
+    yield Batch(page_calls)
+    yield from mark("pages_stored")
+
+    # 3. the only serialization point: get a version number + border refs
+    (ticket,) = yield Batch([Call(ADDR_VM, "vm.assign", (blob_id, offset, size))])
+    assert isinstance(ticket, WriteTicket)
+    yield from mark("version_assigned")
+
+    # 4. weave and publish the metadata subtree — in complete isolation
+    nodes = plan_write_tree(
+        geom, blob_id, ticket.version, patch, ticket.refs_as_dict(), groups, write_uid
+    )
+    yield Compute("client.build_node", len(nodes))
+    meta_calls = [
+        Call(owner, "meta.put_node", (node,))
+        for node in nodes
+        for owner in router.route(node.key)
+    ]
+    yield Batch(meta_calls)
+    yield from mark("metadata_stored")
+
+    # 5. report success; the VM publishes versions in order
+    (latest,) = yield Batch([Call(ADDR_VM, "vm.complete", (blob_id, ticket.version))])
+    yield from mark("done")
+    return WriteResult(
+        blob_id=blob_id,
+        version=ticket.version,
+        latest_published=latest,
+        offset=offset,
+        size=size,
+        pages_written=npages,
+        nodes_written=len(nodes),
+    )
+
+
+# ---------------------------------------------------------------------------
+# READ
+# ---------------------------------------------------------------------------
+
+
+def read_protocol(
+    blob_id: str,
+    geom: TreeGeometry,
+    offset: int,
+    size: int,
+    router: StaticRouter,
+    version: int = LATEST,
+    cache: MetadataCache | None = None,
+    with_data: bool = True,
+    trace: dict[str, float] | None = None,
+) -> Proto:
+    """The READ of paper §III.B; returns a :class:`ReadResult`.
+
+    ``with_data=False`` runs the full metadata + page protocol but skips
+    byte assembly (simulation benches; virtual payloads).
+
+    When ``trace`` is supplied it is filled with phase timestamps
+    (``start``, ``version_resolved``, ``metadata_read``, ``pages_read``,
+    ``done``). Figure 3(a) plots ``metadata_read - version_resolved``
+    (the complete tree descent).
+    """
+    req = geom.check_bounds(offset, size)
+
+    def mark(name: str):
+        if trace is not None:
+            t = yield Mark(name)
+            trace[name] = t
+
+    yield from mark("start")
+
+    # 1. the only centralized interaction: resolve/validate the version
+    (resolved,) = yield Batch(
+        [Call(ADDR_VM, "vm.resolve_read", (blob_id, version))]
+    )
+    yield from mark("version_resolved")
+    effective, latest = resolved
+    if effective == 0:
+        # Version 0 is the implicit all-zero string: nothing to fetch.
+        data = bytes(size) if with_data else None
+        return ReadResult(
+            blob_id, 0, latest, offset, size, data,
+            nodes_fetched=0, cache_hits=0, pages_fetched=0, zero_bytes=size,
+        )
+
+    # 2. descend the segment tree, one parallel batch per level
+    nodes_fetched = 0
+    cache_hits = 0
+    zero_bytes = 0
+    leaves: list[TreeNode] = []
+    frontier: list[NodeKey] = [
+        NodeKey(blob_id, effective, 0, geom.total_size)
+    ]
+    while frontier:
+        resolved_nodes: dict[NodeKey, TreeNode] = {}
+        to_fetch: list[NodeKey] = []
+        for key in frontier:
+            node = cache.get(key) if cache is not None else None
+            if node is not None:
+                cache_hits += 1
+                resolved_nodes[key] = node
+            else:
+                to_fetch.append(key)
+        if to_fetch:
+            fetched = yield from _gather_nodes(router, to_fetch)
+            nodes_fetched += len(fetched)
+            for key, node in zip(to_fetch, fetched):
+                resolved_nodes[key] = node
+                if cache is not None:
+                    cache.put(node)
+        next_frontier: list[NodeKey] = []
+        for key in frontier:
+            node = resolved_nodes[key]
+            if node.is_leaf:
+                leaves.append(node)
+                continue
+            for child_key in node.child_keys():
+                child_iv = child_key.interval
+                if not child_iv.intersects(req):
+                    continue
+                if child_key.version == 0:
+                    # untouched since the initial all-zero string
+                    zero_bytes += child_iv.intersection(req).size
+                    continue
+                next_frontier.append(child_key)
+        frontier = next_frontier
+    yield from mark("metadata_read")
+
+    # 3. fetch the pages referenced by the leaves, in parallel
+    payloads = yield from _gather_pages(geom, leaves)
+    if leaves:
+        yield Compute("client.touch_page", len(leaves))
+    yield from mark("pages_read")
+
+    # 4. assemble the requested byte range
+    data = None
+    if with_data:
+        buf = bytearray(size)  # zero-filled: version-0 regions need no work
+        for leaf, payload in zip(leaves, payloads):
+            if payload.is_virtual:
+                continue
+            iv = leaf.interval
+            src_lo = max(0, req.offset - iv.offset)
+            src_hi = min(iv.size, req.end - iv.offset)
+            dst_lo = iv.offset + src_lo - req.offset
+            buf[dst_lo : dst_lo + (src_hi - src_lo)] = payload.data[src_lo:src_hi]
+        data = bytes(buf)
+    yield from mark("done")
+    return ReadResult(
+        blob_id=blob_id,
+        version=effective,
+        latest=latest,
+        offset=offset,
+        size=size,
+        data=data,
+        nodes_fetched=nodes_fetched,
+        cache_hits=cache_hits,
+        pages_fetched=len(leaves),
+        zero_bytes=zero_bytes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# replica fail-over helpers
+# ---------------------------------------------------------------------------
+
+
+def _gather_nodes(router: StaticRouter, keys: list[NodeKey]) -> Proto:
+    """Fetch tree nodes, falling back across replicas on failure."""
+
+    def routes_for(key: NodeKey) -> tuple[Address, ...]:
+        return router.route(key)
+
+    def call_for(key: NodeKey, owner: Address, last: bool) -> Call:
+        return Call(owner, "meta.get_node", (key,), allow_error=not last)
+
+    return (yield from _gather_with_failover(keys, routes_for, call_for))
+
+
+def _gather_pages(geom: TreeGeometry, leaves: list[TreeNode]) -> Proto:
+    """Fetch page payloads for leaves, falling back across page replicas."""
+
+    def routes_for(leaf: TreeNode) -> tuple[Address, ...]:
+        return tuple(data_addr(p) for p in leaf.providers)
+
+    def call_for(leaf: TreeNode, owner: Address, last: bool) -> Call:
+        key = PageKey(leaf.key.blob_id, leaf.write_uid, geom.page_index(leaf.interval))
+        return Call(owner, "data.get_page", (key,), allow_error=not last)
+
+    return (yield from _gather_with_failover(leaves, routes_for, call_for))
+
+
+def _gather_with_failover(
+    items: list,
+    routes_for: Callable[[Any], tuple[Address, ...]],
+    call_for: Callable[[Any, Address, bool], Call],
+) -> Proto:
+    """Fetch one value per item, retrying across each item's replica owners.
+
+    Attempt ``k`` addresses replica ``k`` of every still-unresolved item in
+    one parallel batch. The final replica's call is issued with
+    ``allow_error=False`` so an unrecoverable loss raises with its precise
+    error type.
+    """
+    if not items:
+        return []
+    out: list[Any] = [None] * len(items)
+    pending = list(range(len(items)))
+    attempt = 0
+    while pending:
+        calls = []
+        for i in pending:
+            routes = routes_for(items[i])
+            last = attempt >= len(routes) - 1
+            calls.append(call_for(items[i], routes[min(attempt, len(routes) - 1)], last))
+        results = yield Batch(calls)
+        still: list[int] = []
+        for i, result in zip(pending, results):
+            if isinstance(result, RemoteError):
+                still.append(i)
+            else:
+                out[i] = result
+        pending = still
+        attempt += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# payload helpers (used by clients and benches)
+# ---------------------------------------------------------------------------
+
+
+def split_pages(data: bytes, pagesize: int) -> list[PagePayload]:
+    """Cut a page-aligned buffer into real page payloads (zero-copy views
+    are materialized per page; pages are immutable downstream)."""
+    if len(data) % pagesize:
+        raise ValueError(
+            f"buffer of {len(data)} B is not a whole number of {pagesize} B pages"
+        )
+    view = memoryview(data)
+    return [
+        PagePayload.real(view[i : i + pagesize])
+        for i in range(0, len(data), pagesize)
+    ]
+
+
+def virtual_pages(size: int, pagesize: int) -> list[PagePayload]:
+    """Virtual payloads covering ``size`` bytes (simulation benches)."""
+    if size % pagesize:
+        raise ValueError(f"{size} B is not a whole number of {pagesize} B pages")
+    return [PagePayload.virtual(pagesize) for _ in range(size // pagesize)]
+
+
+_uid_counter = itertools.count(1)
+
+
+def fresh_write_uid(owner: str) -> str:
+    """Process-unique write id: ``owner`` scopes it to a logical client."""
+    return f"{owner}#{next(_uid_counter)}"
+
+
+@estimate_size.register
+def _(obj: WriteTicket) -> int:
+    return 64 + 24 * len(obj.border_refs)

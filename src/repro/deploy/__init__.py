@@ -1,0 +1,25 @@
+"""Deployment builders: wire actors, drivers and clients together.
+
+Three deployments mirror the three drivers:
+
+- :func:`~repro.deploy.inproc.build_inproc` — everything in one thread;
+  the functional substrate for tests, examples and the sky pipeline.
+- :func:`~repro.deploy.threaded.build_threaded` — each actor on its own
+  service thread (the paper's one-process-per-node layout), real client
+  threads; validates concurrency/lock-freedom claims.
+- :class:`~repro.deploy.simulated.SimDeployment` — actors on simulated
+  cluster nodes with calibrated costs; the benchmark substrate.
+"""
+
+from repro.deploy.inproc import InprocDeployment, build_inproc
+from repro.deploy.threaded import ThreadedDeployment, build_threaded
+from repro.deploy.simulated import SimClient, SimDeployment
+
+__all__ = [
+    "InprocDeployment",
+    "build_inproc",
+    "ThreadedDeployment",
+    "build_threaded",
+    "SimDeployment",
+    "SimClient",
+]

@@ -1,0 +1,242 @@
+"""Simulated deployment: the benchmark substrate.
+
+Builds the paper's topology on the discrete-event cluster: N provider
+nodes (each hosting one data provider and one metadata provider, colocated
+exactly like the paper's experiments), dedicated version-manager and
+provider-manager nodes, and a set of client nodes. Protocols run as
+simulated processes; all times are simulated seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.config import DeploymentSpec
+from repro.core.protocol import (
+    LATEST,
+    alloc_protocol,
+    fresh_write_uid,
+    read_protocol,
+    virtual_pages,
+    write_protocol,
+)
+from repro.metadata.cache import MetadataCache
+from repro.metadata.provider import MetadataProvider
+from repro.metadata.router import StaticRouter
+from repro.metadata.tree import TreeGeometry
+from repro.net.simdriver import SimRpcExecutor
+from repro.providers.data_provider import DataProvider
+from repro.providers.manager import ProviderManager
+from repro.providers.strategies import make_strategy
+from repro.sim.engine import Process, Simulator
+from repro.sim.network import ClusterSpec, Network, SimNode
+from repro.version.manager import VersionManager
+
+
+class SimDeployment:
+    """Actors placed on simulated nodes; spawn clients and run protocols."""
+
+    def __init__(
+        self,
+        spec: DeploymentSpec | None = None,
+        cluster: ClusterSpec | None = None,
+    ) -> None:
+        self.spec = spec or DeploymentSpec()
+        self.sim = Simulator()
+        self.network = Network(self.sim, cluster)
+        self.executor = SimRpcExecutor(self.sim, self.network)
+
+        self.vm = VersionManager()
+        self.pm = ProviderManager(
+            make_strategy(self.spec.strategy, **self.spec.strategy_kwargs),
+            replication=self.spec.replication,
+        )
+        vm_node = self.network.add_node("vm-node")
+        pm_node = self.network.add_node("pm-node")
+        self.executor.register("vm", self.vm, vm_node)
+        self.executor.register("pm", self.pm, pm_node)
+
+        self.data: dict[int, DataProvider] = {}
+        self.meta: dict[int, MetadataProvider] = {}
+        if self.spec.colocate:
+            # One physical node hosts data provider i and metadata provider i
+            # (the layout of every experiment in the paper).
+            for i in range(max(self.spec.n_data, self.spec.n_meta)):
+                node = self.network.add_node(f"prov-{i}")
+                if i < self.spec.n_data:
+                    self._add_data(i, node)
+                if i < self.spec.n_meta:
+                    self._add_meta(i, node)
+        else:
+            for i in range(self.spec.n_data):
+                self._add_data(i, self.network.add_node(f"data-{i}"))
+            for i in range(self.spec.n_meta):
+                self._add_meta(i, self.network.add_node(f"meta-{i}"))
+
+        self.router = StaticRouter(sorted(self.meta), replication=self.spec.replication)
+        self.client_nodes: list[SimNode] = [
+            self.network.add_node(f"client-{i}", role="client")
+            for i in range(self.spec.n_clients)
+        ]
+        self._clients: list[SimClient] = []
+
+    def _add_data(self, i: int, node: SimNode) -> None:
+        dp = DataProvider(i)
+        self.data[i] = dp
+        self.executor.register(("data", i), dp, node)
+        self.pm.register(i)
+
+    def _add_meta(self, i: int, node: SimNode) -> None:
+        mp = MetadataProvider(i)
+        self.meta[i] = mp
+        self.executor.register(("meta", i), mp, node)
+
+    # -- clients ----------------------------------------------------------
+
+    def client(
+        self, index: int = 0, *, cached: bool | None = None, name: str | None = None
+    ) -> "SimClient":
+        """A logical client bound to client node ``index``.
+
+        ``cached`` overrides the spec: True gives the client a metadata
+        cache (the "Read (cached metadata)" series), False disables it
+        (the paper's worst-case uncached experiment).
+        """
+        capacity = self.spec.cache_capacity
+        if cached is True and capacity == 0:
+            capacity = 1 << 20
+        if cached is False:
+            capacity = 0
+        client = SimClient(
+            self,
+            self.client_nodes[index],
+            name=name or f"sim-client-{index}",
+            cache_capacity=capacity,
+        )
+        self._clients.append(client)
+        return client
+
+    # -- setup conveniences (zero simulated time) ---------------------------
+
+    def alloc_blob(self, total_size: int, pagesize: int) -> str:
+        """Allocate a blob directly on the version manager (setup step —
+        not part of any timed experiment)."""
+        return self.vm.alloc(total_size, pagesize)
+
+    def geometry(self, blob_id: str) -> TreeGeometry:
+        total_size, pagesize, _ = self.vm.stat(blob_id)
+        return TreeGeometry(total_size, pagesize)
+
+    def warm_client_cache(self, client: "SimClient", blob_id: str) -> int:
+        """Fill a client's metadata cache with every stored node of a blob.
+
+        Setup helper for the "Read (cached metadata)" series: the paper
+        measures steady-state cached reads, so how the cache got warm is
+        outside the measured window. Runs in zero simulated time. Returns
+        the number of nodes cached.
+        """
+        if client.cache is None:
+            raise ValueError("client has no metadata cache to warm")
+        count = 0
+        for provider in self.meta.values():
+            for key in provider.list_nodes(blob_id):
+                client.cache.put(provider.get_node(key))
+                count += 1
+        return count
+
+    def run(self, until: Any = None) -> Any:
+        return self.sim.run(until)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+
+class SimClient:
+    """Client facade over the simulated executor.
+
+    ``*_proto`` methods build protocol generators for spawning as
+    concurrent processes; the plain methods run one protocol to completion
+    synchronously (advancing the simulation).
+    """
+
+    def __init__(
+        self,
+        deployment: SimDeployment,
+        node: SimNode,
+        name: str,
+        cache_capacity: int,
+    ) -> None:
+        self.dep = deployment
+        self.node = node
+        self.name = name
+        self.cache: MetadataCache | None = (
+            MetadataCache(cache_capacity) if cache_capacity > 0 else None
+        )
+
+    # -- protocol factories ------------------------------------------------
+
+    def write_virtual_proto(
+        self,
+        blob_id: str,
+        offset: int,
+        size: int,
+        trace: dict[str, float] | None = None,
+    ):
+        geom = self.dep.geometry(blob_id)
+        return write_protocol(
+            blob_id, geom, offset, virtual_pages(size, geom.pagesize),
+            self.dep.router, fresh_write_uid(self.name), trace=trace,
+        )
+
+    def read_virtual_proto(
+        self,
+        blob_id: str,
+        offset: int,
+        size: int,
+        version: int = LATEST,
+        trace: dict[str, float] | None = None,
+    ):
+        geom = self.dep.geometry(blob_id)
+        return read_protocol(
+            blob_id, geom, offset, size, self.dep.router,
+            version=version, cache=self.cache, with_data=False, trace=trace,
+        )
+
+    # -- process spawning ---------------------------------------------------
+
+    def spawn(self, proto) -> Process:
+        """Run a protocol as a concurrent simulated process."""
+        return self.dep.sim.process(
+            self.dep.executor.run_protocol(proto, self.node), name=self.name
+        )
+
+    def spawn_timed(self, proto) -> Process:
+        """Like :meth:`spawn`; the process returns ``(value, duration)``."""
+
+        def timed() -> Generator:
+            start = self.dep.sim.now
+            value = yield from self.dep.executor.run_protocol(proto, self.node)
+            return value, self.dep.sim.now - start
+
+        return self.dep.sim.process(timed(), name=f"{self.name}-timed")
+
+    # -- synchronous helpers ---------------------------------------------------
+
+    def run(self, proto) -> Any:
+        proc = self.spawn(proto)
+        return self.dep.sim.run(until=proc)
+
+    def alloc(self, total_size: int, pagesize: int) -> str:
+        return self.run(alloc_protocol(total_size, pagesize))
+
+    def write_virtual(self, blob_id: str, offset: int, size: int):
+        return self.run(self.write_virtual_proto(blob_id, offset, size))
+
+    def read_virtual(self, blob_id: str, offset: int, size: int, version: int = LATEST):
+        return self.run(self.read_virtual_proto(blob_id, offset, size, version))
+
+    def timed(self, proto) -> tuple[Any, float]:
+        """Run a protocol synchronously; returns ``(value, sim_duration)``."""
+        proc = self.spawn_timed(proto)
+        return self.dep.sim.run(until=proc)

@@ -1,0 +1,31 @@
+"""Distributed hash table substrate.
+
+The paper stores metadata on BambooDHT, "a stable, scalable DHT
+implementation", used strictly as an off-the-shelf key dispersal + lookup
+service. Two implementations provide that contract here:
+
+- :class:`~repro.metadata.router.StaticRouter` (in the metadata package):
+  consistent hashing over a *fixed* provider set — what the paper's actual
+  experiments use, since membership never changes mid-run;
+- this package: a full Chord-style ring — ids in the SHA-1 space, finger
+  tables with O(log n) iterative routing, successor lists, join/leave with
+  key handoff, and k-replication — for the general dynamic case, plus a
+  :class:`~repro.dht.adapter.DhtMetadataService` that serves the blob
+  system's ``meta.*`` RPCs directly from the ring.
+"""
+
+from repro.dht.hashing import RING_BITS, RING_SIZE, in_interval, key_id, node_id
+from repro.dht.chord import ChordNode
+from repro.dht.ring import ChordRing
+from repro.dht.adapter import DhtMetadataService
+
+__all__ = [
+    "RING_BITS",
+    "RING_SIZE",
+    "in_interval",
+    "key_id",
+    "node_id",
+    "ChordNode",
+    "ChordRing",
+    "DhtMetadataService",
+]

@@ -1,0 +1,195 @@
+"""Chord node: fingers, successor list, joins, leaves, key handoff.
+
+A deterministic, in-memory Chord implementation. Maintenance (stabilize /
+fix-fingers / successor-list repair) runs in explicit rounds driven by the
+ring facade rather than background threads, which makes convergence and
+churn behaviour exactly reproducible in tests. Lookups are *iterative*
+(the caller hops from node to node), matching how Bamboo routes and making
+hop counts measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.dht.hashing import RING_BITS, in_interval, key_id, node_id
+from repro.errors import NodeMissing
+
+
+class ChordNode:
+    """One DHT participant."""
+
+    def __init__(self, name: str, successor_list_size: int = 4) -> None:
+        self.name = name
+        self.id = node_id(name)
+        self.alive = True
+        self.predecessor: Optional[ChordNode] = None
+        self.successors: list[ChordNode] = [self]  # successor list, repaired
+        self.fingers: list[Optional[ChordNode]] = [None] * RING_BITS
+        self.r = successor_list_size
+        self.store: dict[Any, Any] = {}
+        self.lookups_served = 0
+
+    # -- basic ring relations ----------------------------------------------
+
+    @property
+    def successor(self) -> "ChordNode":
+        for node in self.successors:
+            if node.alive:
+                return node
+        return self  # fully isolated: self-loop
+
+    def owns(self, kid: int) -> bool:
+        """A node owns keys in ``(predecessor, self]``."""
+        if self.predecessor is None or self.predecessor is self:
+            return True
+        return in_interval(kid, self.predecessor.id, self.id)
+
+    # -- lookup -------------------------------------------------------------
+
+    def closest_preceding(self, kid: int) -> "ChordNode":
+        for finger in reversed(self.fingers):
+            if (
+                finger is not None
+                and finger.alive
+                and in_interval(finger.id, self.id, kid, inclusive_right=False)
+            ):
+                return finger
+        for node in reversed(self.successors):
+            if node.alive and in_interval(node.id, self.id, kid, inclusive_right=False):
+                return node
+        return self
+
+    def find_successor(self, kid: int, max_hops: int = 256) -> tuple["ChordNode", int]:
+        """Iterative lookup: returns ``(owner, hops)``."""
+        current: ChordNode = self
+        hops = 0
+        while hops <= max_hops:
+            current.lookups_served += 1
+            succ = current.successor
+            if in_interval(kid, current.id, succ.id):
+                return succ, hops
+            nxt = current.closest_preceding(kid)
+            if nxt is current:
+                return succ, hops
+            current = nxt
+            hops += 1
+        raise RuntimeError(f"lookup for {kid:x} exceeded {max_hops} hops")
+
+    # -- membership ------------------------------------------------------------
+
+    def join(self, bootstrap: "ChordNode") -> None:
+        """Join the ring known to ``bootstrap``; pulls owed keys over."""
+        owner, _ = bootstrap.find_successor(self.id)
+        self.predecessor = None
+        self.successors = [owner]
+        # Take over keys in (new_predecessor, self] from our successor.
+        moved = owner.handoff_below(self.id)
+        self.store.update(moved)
+
+    def handoff_below(self, new_node_id: int) -> dict[Any, Any]:
+        """Give up keys a joining predecessor now owns."""
+        if self.predecessor is None or self.predecessor is self:
+            lo = self.id  # single-node ring: everything below self moves
+        else:
+            lo = self.predecessor.id
+        moved = {
+            k: v
+            for k, v in self.store.items()
+            if in_interval(key_id(k), lo, new_node_id)
+        }
+        for k in moved:
+            del self.store[k]
+        return moved
+
+    def leave(self) -> None:
+        """Graceful departure: hand all keys to the successor, splice out."""
+        succ = self.successor
+        if succ is not self:
+            succ.store.update(self.store)
+            if succ.predecessor is self:
+                succ.predecessor = self.predecessor
+            if self.predecessor is not None and self.predecessor is not self:
+                pred = self.predecessor
+                pred.successors = [succ] + [
+                    s for s in pred.successors if s is not self
+                ][: pred.r - 1]
+        self.store.clear()
+        self.alive = False
+
+    def crash(self) -> None:
+        """Abrupt failure: state is lost; the ring self-heals via stabilize."""
+        self.alive = False
+        self.store.clear()
+
+    # -- maintenance (explicit rounds) --------------------------------------
+
+    def stabilize(self) -> None:
+        if not self.alive:
+            return
+        succ = self.successor
+        x = succ.predecessor
+        if (
+            x is not None
+            and x.alive
+            and x is not self
+            and in_interval(x.id, self.id, succ.id, inclusive_right=False)
+        ):
+            succ = x
+        # repair successor list from the (possibly new) successor
+        chain = [succ] + [s for s in succ.successors if s.alive and s is not self]
+        deduped: list[ChordNode] = []
+        for node in chain:
+            if node not in deduped:
+                deduped.append(node)
+        self.successors = deduped[: self.r]
+        succ.notify(self)
+
+    def notify(self, candidate: "ChordNode") -> None:
+        if not self.alive:
+            return
+        if (
+            self.predecessor is None
+            or not self.predecessor.alive
+            or in_interval(
+                candidate.id, self.predecessor.id, self.id, inclusive_right=False
+            )
+        ):
+            if candidate is not self:
+                self.predecessor = candidate
+
+    def fix_fingers(self) -> None:
+        if not self.alive:
+            return
+        for i in range(RING_BITS):
+            target = (self.id + (1 << i)) % (1 << RING_BITS)
+            try:
+                owner, _ = self.find_successor(target)
+            except RuntimeError:
+                owner = self.successor
+            self.fingers[i] = owner
+
+    # -- storage -------------------------------------------------------------
+
+    def put_local(self, key: Any, value: Any) -> None:
+        self.store[key] = value
+
+    def get_local(self, key: Any) -> Any:
+        try:
+            return self.store[key]
+        except KeyError:
+            raise NodeMissing(f"dht node {self.name}: no key {key!r}") from None
+
+    def replica_targets(self, k: int) -> Iterator["ChordNode"]:
+        """Self plus up to ``k - 1`` distinct live successors."""
+        yield self
+        count = 1
+        for node in self.successors:
+            if count >= k:
+                return
+            if node.alive and node is not self:
+                yield node
+                count += 1
+
+    def __repr__(self) -> str:
+        return f"<ChordNode {self.name} id={self.id:>6x...}>"

@@ -1,0 +1,53 @@
+"""SHA-1 identifier space and circular-interval arithmetic.
+
+Chord (like Pastry/Bamboo) places both nodes and keys on a ring of
+``2**160`` identifiers; a key belongs to the first node clockwise from it
+(its *successor*). All interval logic below is circular: ``(a, b]`` wraps
+through zero when ``a >= b``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+RING_BITS = 160
+RING_SIZE = 1 << RING_BITS
+
+
+def _sha1_int(data: bytes) -> int:
+    return int.from_bytes(hashlib.sha1(data).digest(), "big")
+
+
+def key_id(key: object) -> int:
+    """Ring position of a key (hashed from its ``repr``)."""
+    return _sha1_int(repr(key).encode())
+
+
+def node_id(name: str) -> int:
+    """Ring position of a node (hashed from its name, 'ip:port' style)."""
+    return _sha1_int(f"node:{name}".encode())
+
+
+def in_interval(x: int, a: int, b: int, *, inclusive_right: bool = True) -> bool:
+    """Is ``x`` in the circular interval from ``a`` to ``b``?
+
+    ``(a, b]`` by default; ``(a, b)`` with ``inclusive_right=False``.
+    An empty relation (``a == b``) denotes the full ring: a single node
+    owns everything.
+    """
+    x, a, b = x % RING_SIZE, a % RING_SIZE, b % RING_SIZE
+    if a == b:
+        return x != a or inclusive_right
+    if a < b:
+        if inclusive_right:
+            return a < x <= b
+        return a < x < b
+    # wrapped interval
+    if inclusive_right:
+        return x > a or x <= b
+    return x > a or x < b
+
+
+def distance(a: int, b: int) -> int:
+    """Clockwise distance from ``a`` to ``b`` on the ring."""
+    return (b - a) % RING_SIZE

@@ -1,0 +1,170 @@
+"""Ring facade: membership, maintenance rounds, replicated put/get.
+
+Drives a set of :class:`~repro.dht.chord.ChordNode` instances the way an
+operator would: bootstrap, converge, add/remove nodes, and serve key
+operations with k-replication and fail-over. All state transitions happen
+in explicit, deterministic rounds (no threads), so every test observes the
+exact same ring.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.dht.chord import ChordNode
+from repro.dht.hashing import key_id
+from repro.errors import NodeMissing, NotEnoughProviders
+
+
+class ChordRing:
+    """A Chord ring plus the client-side put/get logic."""
+
+    def __init__(
+        self,
+        names: Iterable[str] = (),
+        replication: int = 1,
+        successor_list_size: int = 8,
+    ) -> None:
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.replication = replication
+        self.successor_list_size = max(successor_list_size, replication + 1)
+        self.nodes: dict[str, ChordNode] = {}
+        self.total_lookup_hops = 0
+        self.lookups = 0
+        for name in names:
+            self.add_node(name)
+
+    # -- membership -----------------------------------------------------------
+
+    def add_node(self, name: str) -> ChordNode:
+        if name in self.nodes:
+            raise ValueError(f"duplicate dht node name {name!r}")
+        node = ChordNode(name, self.successor_list_size)
+        live = self._live_nodes()
+        if live:
+            node.join(live[0])
+        self.nodes[name] = node
+        self.converge()
+        if self.replication > 1:
+            self.rereplicate()
+        return node
+
+    def remove_node(self, name: str, *, graceful: bool = True) -> None:
+        node = self.nodes.pop(name)
+        if graceful:
+            node.leave()
+        else:
+            node.crash()
+        self.converge()
+        if self.replication > 1:
+            self.rereplicate()
+
+    def _live_nodes(self) -> list[ChordNode]:
+        return [n for n in self.nodes.values() if n.alive]
+
+    def __len__(self) -> int:
+        return len(self._live_nodes())
+
+    # -- maintenance ------------------------------------------------------------
+
+    def converge(self, max_rounds: int = 64) -> int:
+        """Run stabilize + fix-fingers rounds until the ring is consistent.
+
+        Returns the number of rounds taken. Consistency check: following
+        successor pointers from any node walks the full live ring in id
+        order.
+        """
+        live = self._live_nodes()
+        if not live:
+            return 0
+        for round_no in range(1, max_rounds + 1):
+            for node in live:
+                node.stabilize()
+            for node in live:
+                node.fix_fingers()
+            if self._consistent():
+                return round_no
+        raise RuntimeError(f"ring failed to converge within {max_rounds} rounds")
+
+    def _consistent(self) -> bool:
+        live = sorted(self._live_nodes(), key=lambda n: n.id)
+        n = len(live)
+        for i, node in enumerate(live):
+            expected_succ = live[(i + 1) % n]
+            expected_pred = live[(i - 1) % n]
+            if node.successor is not expected_succ:
+                return False
+            if n > 1 and node.predecessor is not expected_pred:
+                return False
+        return True
+
+    def rereplicate(self) -> int:
+        """Re-establish the replication factor after membership changes.
+
+        Each node pushes its keys to the current owner's replica set (and
+        owners reclaim keys held by non-owners), so every key ends up on
+        exactly the owner + (k-1) successors.
+        """
+        copied = 0
+        snapshot = [(n, list(n.store.items())) for n in self._live_nodes()]
+        for node, items in snapshot:
+            for key, value in items:
+                owner = self.owner_of(key)
+                targets = list(owner.replica_targets(self.replication))
+                if node not in targets:
+                    del node.store[key]
+                for t in targets:
+                    if key not in t.store:
+                        t.store[key] = value
+                        copied += 1
+        return copied
+
+    # -- key operations ---------------------------------------------------------
+
+    def owner_of(self, key: Any) -> ChordNode:
+        live = self._live_nodes()
+        if not live:
+            raise NotEnoughProviders("dht ring is empty")
+        owner, hops = live[0].find_successor(key_id(key))
+        self.total_lookup_hops += hops
+        self.lookups += 1
+        return owner
+
+    def put(self, key: Any, value: Any) -> None:
+        owner = self.owner_of(key)
+        for target in owner.replica_targets(self.replication):
+            target.put_local(key, value)
+
+    def get(self, key: Any) -> Any:
+        owner = self.owner_of(key)
+        last_error: Exception | None = None
+        for target in owner.replica_targets(self.replication):
+            try:
+                return target.get_local(key)
+            except NodeMissing as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    def delete(self, key: Any) -> int:
+        owner = self.owner_of(key)
+        removed = 0
+        for target in owner.replica_targets(self.replication):
+            if target.store.pop(key, None) is not None:
+                removed += 1
+        return removed
+
+    def keys(self) -> set:
+        out: set = set()
+        for node in self._live_nodes():
+            out.update(node.store)
+        return out
+
+    @property
+    def mean_lookup_hops(self) -> float:
+        return self.total_lookup_hops / self.lookups if self.lookups else 0.0
+
+    def load_distribution(self) -> dict[str, int]:
+        """Keys per live node (balance measurements in tests)."""
+        return {n.name: len(n.store) for n in self._live_nodes()}

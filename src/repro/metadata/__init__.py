@@ -1,0 +1,26 @@
+"""Metadata plane: the distributed, versioned segment tree.
+
+Metadata associates an access request ``(version, offset, size)`` with the
+pages holding the data (paper §III). It is organized as a segment tree per
+version whose nodes are dispersed over metadata providers (a DHT); trees of
+successive versions share whole subtrees ("weaving"), so a WRITE creates
+only the nodes on the paths from the root to its patched pages.
+"""
+
+from repro.metadata.tree import TreeGeometry
+from repro.metadata.node import NodeKey, TreeNode
+from repro.metadata.build import count_write_nodes, plan_write_tree
+from repro.metadata.provider import MetadataProvider
+from repro.metadata.router import StaticRouter
+from repro.metadata.cache import MetadataCache
+
+__all__ = [
+    "TreeGeometry",
+    "NodeKey",
+    "TreeNode",
+    "plan_write_tree",
+    "count_write_nodes",
+    "MetadataProvider",
+    "StaticRouter",
+    "MetadataCache",
+]

@@ -1,0 +1,139 @@
+"""Construction of a WRITE's metadata subtree ("weaving", paper §III.C).
+
+A WRITE producing version ``v`` over patch ``P`` builds the smallest
+(possibly incomplete) binary tree of the full height whose leaves are
+exactly the pages of ``P``. Nodes whose two children both intersect ``P``
+link to fresh version-``v`` children; *border nodes* have one child outside
+``P`` and link it to the corresponding node of an **earlier** tree — the
+version supplied in ``border_refs``, which the version manager precomputes
+from the patch history (paper §IV.C) so the writer needs no communication
+with, and no waiting on, concurrent writers.
+
+The functions here are pure: given geometry, patch, refs and page
+placements they return the exact node set — which makes the weaving logic
+property-testable in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.metadata.node import NodeKey, TreeNode
+from repro.metadata.tree import TreeGeometry
+from repro.util.intervals import Interval
+
+
+def plan_write_tree(
+    geom: TreeGeometry,
+    blob_id: str,
+    version: int,
+    patch: Interval,
+    border_refs: Mapping[Interval, int],
+    page_providers: Sequence[tuple[int, ...]],
+    write_uid: str,
+) -> list[TreeNode]:
+    """Build all tree nodes the WRITE must publish, root first (DFS order).
+
+    Args:
+        geom: blob geometry.
+        blob_id: blob identity.
+        version: the version number assigned to this write.
+        patch: the page-aligned byte range being written.
+        border_refs: interval -> version for every child interval of the
+            new subtree that does *not* intersect the patch (version 0
+            means the interval was never written: zero-fill).
+        page_providers: provider group per patched page, in page order.
+        write_uid: unique id of this write (page addressing).
+
+    Returns:
+        Fresh :class:`TreeNode` records for version ``version``.
+    """
+    patch = geom.check_aligned(patch.offset, patch.size)
+    first_page = patch.offset // geom.pagesize
+    npages = patch.size // geom.pagesize
+    if len(page_providers) != npages:
+        raise ValueError(
+            f"patch covers {npages} pages but {len(page_providers)} provider "
+            "groups were supplied"
+        )
+
+    nodes: list[TreeNode] = []
+    stack: list[Interval] = [geom.root]
+    while stack:
+        iv = stack.pop()
+        key = NodeKey(blob_id, version, iv.offset, iv.size)
+        if geom.is_leaf(iv):
+            page = geom.page_index(iv)
+            nodes.append(
+                TreeNode(
+                    key=key,
+                    providers=tuple(page_providers[page - first_page]),
+                    write_uid=write_uid,
+                )
+            )
+            continue
+        left, right = geom.children(iv)
+        if left.intersects(patch):
+            left_version = version
+            # push right first so left is processed first (stable DFS order)
+        else:
+            left_version = _ref(border_refs, left, version)
+        if right.intersects(patch):
+            right_version = version
+        else:
+            right_version = _ref(border_refs, right, version)
+        if right.intersects(patch):
+            stack.append(right)
+        if left.intersects(patch):
+            stack.append(left)
+        nodes.append(
+            TreeNode(key=key, left_version=left_version, right_version=right_version)
+        )
+    return nodes
+
+
+def _ref(border_refs: Mapping[Interval, int], iv: Interval, version: int) -> int:
+    try:
+        ref = border_refs[iv]
+    except KeyError:
+        raise KeyError(
+            f"missing border reference for interval {iv} (write version {version})"
+        ) from None
+    if not 0 <= ref < version:
+        raise ValueError(
+            f"border reference for {iv} is version {ref}, expected < {version}"
+        )
+    return ref
+
+
+def border_intervals(geom: TreeGeometry, patch: Interval) -> list[Interval]:
+    """Child intervals of the write subtree that lie outside the patch.
+
+    This is exactly the key set ``plan_write_tree`` expects in
+    ``border_refs``; the version manager walks the same recursion when
+    precomputing references (paper §IV.C), and tests assert the two agree.
+    """
+    patch = geom.check_aligned(patch.offset, patch.size)
+    out: list[Interval] = []
+    stack: list[Interval] = [geom.root]
+    while stack:
+        iv = stack.pop()
+        if geom.is_leaf(iv):
+            continue
+        for child in geom.children(iv):
+            if child.intersects(patch):
+                stack.append(child)
+            else:
+                out.append(child)
+    return out
+
+
+def count_write_nodes(geom: TreeGeometry, patch: Interval) -> int:
+    """Closed-form size of the subtree a WRITE of ``patch`` must build."""
+    total = 0
+    for depth in range(geom.depth + 1):
+        size = geom.total_size >> depth
+        first = patch.offset // size
+        last = (patch.end - 1) // size
+        total += last - first + 1
+    return total

@@ -1,0 +1,53 @@
+"""Client-side metadata cache.
+
+Tree nodes are immutable and version-addressed, so a cache entry can never
+go stale — the cache needs no invalidation protocol, only an eviction
+policy. This is a direct payoff of the versioning design and the mechanism
+behind the "Read (cached metadata)" series of Figure 3(c): once a client has
+walked a subtree, re-reads within the same (or any sharing) version skip the
+metadata providers entirely. The paper's prototype accommodates 2**20 nodes;
+we default to the same capacity.
+"""
+
+from __future__ import annotations
+
+from repro.metadata.node import NodeKey, TreeNode
+from repro.util.lru import LRUCache
+
+DEFAULT_CAPACITY = 1 << 20
+
+
+class MetadataCache:
+    """LRU cache of tree nodes keyed by :class:`NodeKey`."""
+
+    __slots__ = ("_lru",)
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._lru: LRUCache[NodeKey, TreeNode] = LRUCache(capacity)
+
+    def get(self, key: NodeKey) -> TreeNode | None:
+        return self._lru.get(key)
+
+    def put(self, node: TreeNode) -> None:
+        self._lru.put(node.key, node)
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key: NodeKey) -> bool:
+        return key in self._lru
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self._lru.hit_ratio

@@ -1,0 +1,115 @@
+"""Metadata provider: the node store behind the DHT abstraction.
+
+The paper stores tree nodes on BambooDHT; here a metadata provider is the
+storage end of that abstraction (one per node in the paper's deployment),
+and the :class:`~repro.metadata.router.StaticRouter` plays the DHT's
+key-dispersal role. Nodes are write-once; duplicate puts of an *identical*
+record are idempotent (replication retries), conflicting puts are protocol
+bugs and rejected loudly.
+
+RPC surface:
+
+- ``meta.put_node(node)`` -> True
+- ``meta.get_node(key)`` -> TreeNode
+- ``meta.free_nodes(keys)`` -> count freed (garbage collection)
+- ``meta.list_nodes(blob_id)`` -> keys held for a blob (GC sweep)
+- ``meta.stats()`` -> counters
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import ImmutabilityViolation, NodeMissing, ProviderUnavailable
+from repro.metadata.node import NodeKey, TreeNode
+
+
+class MetadataProvider:
+    """One metadata-provider process."""
+
+    def __init__(self, provider_id: int) -> None:
+        self.provider_id = provider_id
+        self._nodes: dict[NodeKey, TreeNode] = {}
+        self.puts = 0
+        self.gets = 0
+        self.failed = False
+
+    def put_node(self, node: TreeNode) -> bool:
+        self._check_up()
+        existing = self._nodes.get(node.key)
+        if existing is not None:
+            if existing == node:
+                return True  # idempotent replay
+            raise ImmutabilityViolation(
+                f"metadata provider {self.provider_id}: conflicting put for "
+                f"{node.key}"
+            )
+        self._nodes[node.key] = node
+        self.puts += 1
+        return True
+
+    def get_node(self, key: NodeKey) -> TreeNode:
+        self._check_up()
+        self.gets += 1
+        try:
+            return self._nodes[key]
+        except KeyError:
+            raise NodeMissing(
+                f"metadata provider {self.provider_id}: no node {key}"
+            ) from None
+
+    def has_node(self, key: NodeKey) -> bool:
+        return key in self._nodes
+
+    def free_nodes(self, keys: Iterable[NodeKey]) -> int:
+        self._check_up()
+        freed = 0
+        for key in keys:
+            if self._nodes.pop(key, None) is not None:
+                freed += 1
+        return freed
+
+    def list_nodes(self, blob_id: str) -> list[NodeKey]:
+        self._check_up()
+        return [k for k in self._nodes if k.blob_id == blob_id]
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "provider_id": self.provider_id,
+            "nodes": len(self._nodes),
+            "puts": self.puts,
+            "gets": self.gets,
+        }
+
+    # -- failure injection -----------------------------------------------
+
+    def crash(self) -> None:
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    def _check_up(self) -> None:
+        if self.failed:
+            raise ProviderUnavailable(
+                f"metadata provider {self.provider_id} is down"
+            )
+
+    # -- RPC dispatch ------------------------------------------------------
+
+    def handle(self, method: str, args: tuple) -> Any:
+        if method == "meta.put_node":
+            return self.put_node(*args)
+        if method == "meta.get_node":
+            return self.get_node(*args)
+        if method == "meta.free_nodes":
+            return self.free_nodes(*args)
+        if method == "meta.list_nodes":
+            return self.list_nodes(*args)
+        if method == "meta.stats":
+            return self.stats()
+        raise ValueError(f"metadata provider: unknown method {method!r}")

@@ -1,0 +1,54 @@
+"""Key → metadata-provider routing (the DHT's dispersal role).
+
+The paper stores tree nodes in BambooDHT, whose job in the protocol is
+simply to spread keys uniformly over the metadata providers and locate them
+without coordination. :class:`StaticRouter` reproduces that contract for a
+fixed provider set — matching the paper's deployments, where the provider
+set never changes during an experiment — by hashing the node key with SHA-1
+(the same key space Bamboo/Pastry use). The dynamic-membership general case
+is implemented by the Chord substrate in :mod:`repro.dht` and exercised by
+its own tests; both honour the same routing contract
+(:meth:`route` returning ``replication`` distinct owner addresses).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from repro.metadata.node import NodeKey
+from repro.net.sansio import Address
+
+
+def _digest(key: NodeKey) -> int:
+    h = hashlib.sha1(
+        f"{key.blob_id}:{key.version}:{key.offset}:{key.size}".encode()
+    ).digest()
+    return int.from_bytes(h[:8], "big")
+
+
+class StaticRouter:
+    """Deterministic key dispersal over a fixed metadata-provider set."""
+
+    def __init__(self, meta_ids: Sequence[int], replication: int = 1) -> None:
+        if not meta_ids:
+            raise ValueError("need at least one metadata provider")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if replication > len(meta_ids):
+            raise ValueError(
+                f"replication {replication} exceeds provider count {len(meta_ids)}"
+            )
+        self.meta_ids = tuple(meta_ids)
+        self.replication = replication
+
+    def primary(self, key: NodeKey) -> Address:
+        return ("meta", self.meta_ids[_digest(key) % len(self.meta_ids)])
+
+    def route(self, key: NodeKey) -> tuple[Address, ...]:
+        """All owner addresses for a key: primary plus ring successors."""
+        start = _digest(key) % len(self.meta_ids)
+        return tuple(
+            ("meta", self.meta_ids[(start + i) % len(self.meta_ids)])
+            for i in range(self.replication)
+        )

@@ -1,0 +1,37 @@
+"""Messaging substrate: sans-io protocols and their execution drivers.
+
+The blob protocols (READ, WRITE, ALLOC, GC) are written **once** as plain
+generators that yield :class:`~repro.net.sansio.Batch` /
+:class:`~repro.net.sansio.Compute` operations and receive results — no I/O,
+no threads, no clocks inside the protocol logic (the "sans-io" style). Three
+drivers execute them:
+
+- :class:`~repro.net.inproc.InprocDriver` — direct dispatch, for functional
+  tests, examples and the application pipeline;
+- :class:`~repro.net.threaded.ThreadedDriver` — one service thread per actor
+  with queue transports: real concurrency, used to validate lock-freedom;
+- :class:`~repro.net.simdriver.SimRpcExecutor` — runs protocols as processes
+  on the discrete-event cluster with full cost accounting, used by every
+  benchmark.
+
+The drivers share aggregation semantics: sub-calls within one batch that
+target the same destination travel in a single wire RPC (paper §V.A).
+"""
+
+from repro.net.sansio import Batch, Call, Compute, Protocol, run_inproc
+from repro.net.message import estimate_size
+from repro.net.inproc import InprocDriver
+from repro.net.threaded import ThreadedDriver
+from repro.net.simdriver import SimRpcExecutor
+
+__all__ = [
+    "Batch",
+    "Call",
+    "Compute",
+    "Protocol",
+    "run_inproc",
+    "estimate_size",
+    "InprocDriver",
+    "ThreadedDriver",
+    "SimRpcExecutor",
+]

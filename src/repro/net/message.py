@@ -1,0 +1,76 @@
+"""Wire-size estimation for RPC payloads.
+
+The simulator needs byte counts to account NIC serialization time. Rather
+than actually serializing objects (wasted host CPU), every payload type
+declares its wire footprint here. Estimates are deliberately simple and
+deterministic: a page travels as its payload size plus a small descriptor;
+a metadata tree node is a fixed-size record; control values are small.
+"""
+
+from __future__ import annotations
+
+from functools import singledispatch
+from typing import Any
+
+#: Serialized footprint of one segment-tree node: key (blob id hash, version,
+#: offset, size), child version references or page descriptor, framing.
+NODE_WIRE_BYTES = 112
+
+#: Footprint of a page key / descriptor accompanying page payloads.
+PAGE_KEY_BYTES = 48
+
+#: Default footprint for small control values (ints, None, short strings).
+SMALL_VALUE_BYTES = 16
+
+
+@singledispatch
+def estimate_size(obj: Any) -> int:
+    """Best-effort wire footprint of ``obj`` in bytes.
+
+    Types owned by this library register explicit sizes (see
+    ``repro.providers.page`` and ``repro.metadata.node``); everything else
+    falls back to structural rules below.
+    """
+    return SMALL_VALUE_BYTES
+
+
+@estimate_size.register
+def _(obj: bytes) -> int:
+    return len(obj)
+
+
+@estimate_size.register
+def _(obj: bytearray) -> int:
+    return len(obj)
+
+
+@estimate_size.register
+def _(obj: memoryview) -> int:
+    return obj.nbytes
+
+
+@estimate_size.register
+def _(obj: str) -> int:
+    return max(SMALL_VALUE_BYTES, len(obj))
+
+
+@estimate_size.register
+def _(obj: type(None)) -> int:  # noqa: ANN001
+    return SMALL_VALUE_BYTES
+
+
+@estimate_size.register
+def _(obj: list) -> int:
+    return 8 + sum(estimate_size(x) for x in obj)
+
+
+@estimate_size.register
+def _(obj: tuple) -> int:
+    return 8 + sum(estimate_size(x) for x in obj)
+
+
+@estimate_size.register
+def _(obj: dict) -> int:
+    return 8 + sum(
+        estimate_size(k) + estimate_size(v) for k, v in obj.items()
+    )

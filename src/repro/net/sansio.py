@@ -1,0 +1,158 @@
+"""Sans-io protocol vocabulary.
+
+A *protocol* is a generator that yields operations and receives their
+results; the protocol never touches sockets, threads or clocks, so the same
+code runs under direct dispatch, real threads, or the discrete-event
+simulator. This mirrors how the paper's client logic is one algorithm
+regardless of deployment.
+
+Operations:
+
+- :class:`Batch` — a set of RPCs to execute **in parallel**; the driver
+  resumes the protocol with the list of results in call order. Calls to the
+  same destination are aggregated into one wire message by every driver.
+- :class:`Compute` — a declaration of pure client-side work (``units`` of a
+  named cost), so the simulator can charge client CPU for work that in a
+  real deployment happens between RPCs (building tree nodes, assembling
+  buffers). Non-simulated drivers treat it as a no-op, because there the
+  work is actually performed by the surrounding Python code.
+
+Failure semantics: a handler exception is wrapped in
+:class:`~repro.errors.RemoteError`. By default the driver raises it at the
+protocol's ``yield`` point. Calls created with ``allow_error=True`` instead
+deliver the error object in the result slot, which lets protocols implement
+fail-over (e.g. reading a page replica after a provider crash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Hashable, Mapping, Protocol as TypingProtocol, TypeVar, Union
+
+from repro.errors import RemoteError, ReproError
+from repro.net.message import estimate_size
+
+Address = Hashable
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class Call:
+    """One remote procedure call."""
+
+    dest: Address
+    method: str
+    args: tuple = ()
+    #: estimated request payload bytes (defaults from args at driver level)
+    request_bytes: int | None = None
+    #: deliver RemoteError as a result instead of raising (fail-over paths)
+    allow_error: bool = False
+
+    def payload_bytes(self) -> int:
+        if self.request_bytes is not None:
+            return self.request_bytes
+        return estimate_size(self.args)
+
+
+@dataclass(frozen=True, slots=True)
+class Batch:
+    """Parallel RPC batch; results come back in call order."""
+
+    calls: tuple[Call, ...]
+
+    def __init__(self, calls: Any) -> None:
+        object.__setattr__(self, "calls", tuple(calls))
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+
+@dataclass(frozen=True, slots=True)
+class Compute:
+    """Pure client-side work declaration (priced only by the simulator)."""
+
+    key: str
+    units: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class Mark:
+    """Ask the driver for the current time (phase instrumentation).
+
+    The driver resumes the protocol with a float timestamp: simulated
+    seconds under the simulator, ``time.monotonic()`` elsewhere. Protocols
+    use it to fill caller-supplied trace dicts so benches can separate
+    metadata-phase from data-phase time, matching what the paper's Figure
+    3(a)/(b) actually plot.
+    """
+
+    name: str
+
+
+Op = Union[Batch, Compute, Mark]
+Protocol = Generator[Op, Any, T]
+
+
+class Actor(TypingProtocol):
+    """Anything that can serve RPCs: a single ``handle`` entry point."""
+
+    def handle(self, method: str, args: tuple) -> Any: ...
+
+
+def dispatch_call(actor: Actor, call: Call) -> Any:
+    """Invoke a handler, converting exceptions into :class:`RemoteError`.
+
+    Returns either the handler's value or a RemoteError instance; the
+    caller decides (based on ``call.allow_error``) whether to raise.
+    """
+    try:
+        return actor.handle(call.method, call.args)
+    except Exception as exc:  # noqa: BLE001 - boundary: wrap everything
+        return RemoteError.wrap(exc)
+
+
+def deliver(call: Call, result: Any) -> Any:
+    """Apply the error-delivery policy for one call result.
+
+    Semantic errors (``ReproError`` subclasses) re-raise with their precise
+    type; infrastructure failures raise as :class:`RemoteError`.
+    """
+    if isinstance(result, RemoteError) and not call.allow_error:
+        raise result.unwrap()
+    return result
+
+
+def run_inproc(proto: Protocol[T], registry: Mapping[Address, Actor]) -> T:
+    """Execute a protocol by direct dispatch against actor objects.
+
+    This is the reference driver: no parallelism, no timing — just the
+    protocol semantics. Both other drivers must be observationally
+    equivalent to it (asserted by tests).
+    """
+    import time
+
+    try:
+        op = next(proto)
+        while True:
+            if isinstance(op, Compute):
+                op = proto.send(None)
+                continue
+            if isinstance(op, Mark):
+                op = proto.send(time.monotonic())
+                continue
+            if not isinstance(op, Batch):
+                raise TypeError(f"protocol yielded {op!r}, expected Batch or Compute")
+            results = []
+            for call in op.calls:
+                actor = registry.get(call.dest)
+                if actor is None:
+                    raise KeyError(f"no actor registered at address {call.dest!r}")
+                results.append(dispatch_call(actor, call))
+            try:
+                delivered = [deliver(c, r) for c, r in zip(op.calls, results)]
+            except ReproError as exc:
+                op = proto.throw(exc)
+                continue
+            op = proto.send(delivered)
+    except StopIteration as stop:
+        return stop.value

@@ -1,0 +1,216 @@
+"""Real-thread driver: one service thread per actor, queue transports.
+
+This driver exists to demonstrate the paper's concurrency claims with real
+parallelism (not simulated time): each actor — data provider, metadata
+provider, version manager, provider manager — runs its own service loop
+exactly like the paper's one-process-per-node deployment, and any number of
+client threads issue protocols against them concurrently.
+
+Because each actor is confined to a single service thread, actor code needs
+no internal locking; the *only* serialization point in the whole data path
+is the version manager's service queue — which is precisely the design the
+paper argues for. Throughput numbers from this driver are not meaningful
+under the GIL (see DESIGN.md); correctness under concurrency is.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Any, Mapping
+
+from repro.net.sansio import (
+    Actor,
+    Address,
+    Batch,
+    Call,
+    Compute,
+    Mark,
+    Protocol,
+    deliver,
+    dispatch_call,
+)
+from repro.errors import ReproError
+
+_SHUTDOWN = object()
+
+
+class _Completion:
+    """Latch counting outstanding wire RPCs of one batch."""
+
+    __slots__ = ("_cond", "_pending")
+
+    def __init__(self, pending: int) -> None:
+        self._cond = threading.Condition()
+        self._pending = pending
+
+    def one_done(self) -> None:
+        with self._cond:
+            self._pending -= 1
+            if self._pending <= 0:
+                self._cond.notify_all()
+
+    def wait(self) -> None:
+        with self._cond:
+            while self._pending > 0:
+                self._cond.wait()
+
+
+class _ServerThread:
+    """Service loop for one actor: processes aggregated call groups FIFO."""
+
+    def __init__(self, address: Address, actor: Actor) -> None:
+        self.address = address
+        self.actor = actor
+        self.inbox: queue.SimpleQueue = queue.SimpleQueue()
+        self.served_calls = 0
+        self.served_rpcs = 0
+        self._thread = threading.Thread(
+            target=self._loop, name=f"actor-{address}", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            item = self.inbox.get()
+            if item is _SHUTDOWN:
+                return
+            calls, indices, results, completion = item
+            # One inbox item == one wire RPC carrying aggregated sub-calls.
+            self.served_rpcs += 1
+            for call, index in zip(calls, indices):
+                results[index] = dispatch_call(self.actor, call)
+                self.served_calls += 1
+            completion.one_done()
+
+    def stop(self) -> None:
+        self.inbox.put(_SHUTDOWN)
+        self._thread.join(timeout=10)
+
+
+class ThreadedDriver:
+    """Drives protocols from any number of caller threads."""
+
+    def __init__(self, registry: Mapping[Address, Actor] | None = None) -> None:
+        self._servers: dict[Address, _ServerThread] = {}
+        self._closed = False
+        self._lock = threading.Lock()
+        for address, actor in (registry or {}).items():
+            self.register(address, actor)
+
+    def register(self, address: Address, actor: Actor) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("driver is closed")
+            if address in self._servers:
+                raise ValueError(f"address {address!r} already registered")
+            self._servers[address] = _ServerThread(address, actor)
+
+    def addresses(self) -> list[Address]:
+        with self._lock:
+            return list(self._servers)
+
+    def server_stats(self) -> dict[Address, tuple[int, int]]:
+        """Per-actor ``(wire_rpcs, sub_calls)`` counters."""
+        with self._lock:
+            return {
+                a: (s.served_rpcs, s.served_calls) for a, s in self._servers.items()
+            }
+
+    def run(self, proto: Protocol[Any]) -> Any:
+        """Execute a protocol; may be called concurrently from many threads."""
+        try:
+            op = next(proto)
+            while True:
+                if isinstance(op, Compute):
+                    op = proto.send(None)
+                    continue
+                if isinstance(op, Mark):
+                    op = proto.send(time.monotonic())
+                    continue
+                if not isinstance(op, Batch):
+                    raise TypeError(
+                        f"protocol yielded {op!r}, expected Batch or Compute"
+                    )
+                try:
+                    results = self._execute_batch(op)
+                except ReproError as exc:
+                    op = proto.throw(exc)
+                    continue
+                op = proto.send(results)
+        except StopIteration as stop:
+            return stop.value
+
+    def _execute_batch(self, batch: Batch) -> list[Any]:
+        # Group sub-calls by destination: one wire RPC per destination,
+        # mirroring the aggregating RPC framework of the paper.
+        groups: dict[Address, tuple[list[Call], list[int]]] = {}
+        for index, call in enumerate(batch.calls):
+            calls, indices = groups.setdefault(call.dest, ([], []))
+            calls.append(call)
+            indices.append(index)
+        results: list[Any] = [None] * len(batch.calls)
+        completion = _Completion(len(groups))
+        for dest, (calls, indices) in groups.items():
+            server = self._servers.get(dest)
+            if server is None:
+                raise KeyError(f"no actor registered at address {dest!r}")
+            server.inbox.put((calls, indices, results, completion))
+        completion.wait()
+        return [deliver(c, r) for c, r in zip(batch.calls, results)]
+
+    def spawn(self, proto: Protocol[Any]) -> "ProtocolFuture":
+        """Run a protocol on a fresh thread; returns a waitable future."""
+        return ProtocolFuture(self, proto)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            servers = list(self._servers.values())
+        for server in servers:
+            server.stop()
+
+    def __enter__(self) -> "ThreadedDriver":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+_future_ids = itertools.count(1)
+
+
+class ProtocolFuture:
+    """Result of :meth:`ThreadedDriver.spawn`."""
+
+    def __init__(self, driver: ThreadedDriver, proto: Protocol[Any]) -> None:
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._done = threading.Event()
+
+        def _target() -> None:
+            try:
+                self._value = driver.run(proto)
+            except BaseException as exc:  # noqa: BLE001 - carried to result()
+                self._error = exc
+            finally:
+                self._done.set()
+
+        self._thread = threading.Thread(
+            target=_target, name=f"proto-{next(_future_ids)}", daemon=True
+        )
+        self._thread.start()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = 60.0) -> Any:
+        if not self._done.wait(timeout):
+            raise TimeoutError("protocol did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._value

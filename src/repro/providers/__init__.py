@@ -1,0 +1,31 @@
+"""Data plane: page payloads, RAM data providers, and the provider manager.
+
+Pages are the unit of striping (paper §II): fixed-size, immutable, labeled
+by the write that created them. Data providers store pages in local memory;
+the provider manager tracks the live provider set and allocates one
+provider per fresh page of each WRITE under a load-balancing strategy.
+"""
+
+from repro.providers.page import PageKey, PagePayload, page_key_for
+from repro.providers.data_provider import DataProvider
+from repro.providers.manager import ProviderManager
+from repro.providers.strategies import (
+    AllocationStrategy,
+    LeastLoaded,
+    RandomK,
+    RoundRobin,
+    make_strategy,
+)
+
+__all__ = [
+    "PageKey",
+    "PagePayload",
+    "page_key_for",
+    "DataProvider",
+    "ProviderManager",
+    "AllocationStrategy",
+    "LeastLoaded",
+    "RandomK",
+    "RoundRobin",
+    "make_strategy",
+]

@@ -1,0 +1,135 @@
+"""RAM-based data provider.
+
+Stores pages in local memory (the paper's design point: RAM storage for
+access efficiency, persistence delegated to a lower tier — see
+:mod:`repro.core.persistence` for the optional spill). Pages are write-once:
+the provider enforces immutability, which is what makes lock-free reads
+safe — a published page can never change under a reader.
+
+RPC surface (see :class:`repro.net.sansio.Actor`):
+
+- ``data.put_page(key, payload)`` -> ``True``
+- ``data.get_page(key)`` -> :class:`~repro.providers.page.PagePayload`
+- ``data.free_pages(keys)`` -> number actually freed (garbage collection)
+- ``data.list_pages(blob_id)`` -> all keys held for a blob (GC sweep)
+- ``data.stats()`` -> storage counters
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import ImmutabilityViolation, PageMissing, ProviderUnavailable
+from repro.providers.page import PageKey, PagePayload
+
+
+class DataProvider:
+    """One data-provider process (one per node in the paper's deployment)."""
+
+    def __init__(self, provider_id: int, spill=None) -> None:
+        self.provider_id = provider_id
+        self._pages: dict[PageKey, PagePayload] = {}
+        self.bytes_stored = 0
+        self.puts = 0
+        self.gets = 0
+        self.failed = False  # failure injection: refuse all service
+        self._spill = spill  # optional persistence backend
+
+    # -- storage operations ------------------------------------------------
+
+    def put_page(self, key: PageKey, payload: PagePayload) -> bool:
+        self._check_up()
+        if key in self._pages:
+            raise ImmutabilityViolation(
+                f"provider {self.provider_id}: page {key} already stored"
+            )
+        self._pages[key] = payload
+        self.bytes_stored += payload.nbytes
+        self.puts += 1
+        if self._spill is not None:
+            self._spill.store(key, payload)
+        return True
+
+    def get_page(self, key: PageKey) -> PagePayload:
+        self._check_up()
+        self.gets += 1
+        try:
+            return self._pages[key]
+        except KeyError:
+            if self._spill is not None:
+                payload = self._spill.load(key)
+                if payload is not None:
+                    return payload
+            raise PageMissing(
+                f"provider {self.provider_id}: no page {key}"
+            ) from None
+
+    def has_page(self, key: PageKey) -> bool:
+        return key in self._pages
+
+    def free_pages(self, keys: Iterable[PageKey]) -> int:
+        self._check_up()
+        freed = 0
+        for key in keys:
+            payload = self._pages.pop(key, None)
+            if payload is not None:
+                self.bytes_stored -= payload.nbytes
+                freed += 1
+                if self._spill is not None:
+                    self._spill.drop(key)
+        return freed
+
+    def list_pages(self, blob_id: str) -> list[PageKey]:
+        self._check_up()
+        return [k for k in self._pages if k.blob_id == blob_id]
+
+    def evict_to_spill(self) -> int:
+        """Drop in-RAM copies that are safely persisted (needs a spill)."""
+        if self._spill is None:
+            return 0
+        evicted = 0
+        for key in list(self._pages):
+            payload = self._pages.pop(key)
+            self.bytes_stored -= payload.nbytes
+            evicted += 1
+        return evicted
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "provider_id": self.provider_id,
+            "pages": len(self._pages),
+            "bytes": self.bytes_stored,
+            "puts": self.puts,
+            "gets": self.gets,
+        }
+
+    # -- failure injection ---------------------------------------------------
+
+    def crash(self) -> None:
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    def _check_up(self) -> None:
+        if self.failed:
+            raise ProviderUnavailable(f"data provider {self.provider_id} is down")
+
+    # -- RPC dispatch ----------------------------------------------------------
+
+    def handle(self, method: str, args: tuple) -> Any:
+        if method == "data.put_page":
+            return self.put_page(*args)
+        if method == "data.get_page":
+            return self.get_page(*args)
+        if method == "data.free_pages":
+            return self.free_pages(*args)
+        if method == "data.list_pages":
+            return self.list_pages(*args)
+        if method == "data.stats":
+            return self.stats()
+        raise ValueError(f"data provider: unknown method {method!r}")

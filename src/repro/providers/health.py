@@ -1,0 +1,116 @@
+"""Provider health tracking: heartbeats and failure suspicion.
+
+The paper lists fault tolerance of the management entities as future work
+(§VI); this module implements the provider-side half the provider manager
+needs today: providers heartbeat, the manager suspects any provider silent
+for ``timeout`` time units and excludes it from new-page allocation (data
+already stored stays readable through replicas; see ``tests/test_faults``).
+
+Time is an explicit logical clock (``tick``), so the policy is fully
+deterministic under test and equally usable from the simulated or the
+threaded deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class HealthState(str, Enum):
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass
+class _ProviderHealth:
+    last_heartbeat: float
+    state: HealthState = HealthState.ALIVE
+    suspected_at: float | None = None
+
+
+@dataclass
+class HealthTracker:
+    """Heartbeat bookkeeping with a two-stage suspicion policy.
+
+    A provider silent for ``suspect_after`` becomes SUSPECT (excluded from
+    allocation, still counted as a member); silent for ``evict_after`` it
+    becomes DEAD (removed from membership). Any heartbeat fully revives it.
+    """
+
+    suspect_after: float = 3.0
+    evict_after: float = 10.0
+    _providers: dict[int, _ProviderHealth] = field(default_factory=dict)
+    now: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.suspect_after <= 0 or self.evict_after <= self.suspect_after:
+            raise ValueError(
+                "need 0 < suspect_after < evict_after, got "
+                f"{self.suspect_after} / {self.evict_after}"
+            )
+
+    # -- inputs -----------------------------------------------------------
+
+    def register(self, provider_id: int) -> None:
+        self._providers[provider_id] = _ProviderHealth(last_heartbeat=self.now)
+
+    def deregister(self, provider_id: int) -> None:
+        self._providers.pop(provider_id, None)
+
+    def heartbeat(self, provider_id: int, now: float | None = None) -> HealthState:
+        """Record a heartbeat; unknown providers (re)register implicitly."""
+        if now is not None:
+            self.advance(now)
+        entry = self._providers.get(provider_id)
+        if entry is None:
+            self.register(provider_id)
+            return HealthState.ALIVE
+        entry.last_heartbeat = self.now
+        entry.state = HealthState.ALIVE
+        entry.suspected_at = None
+        return entry.state
+
+    def advance(self, now: float) -> list[tuple[int, HealthState]]:
+        """Move the clock forward; returns state transitions it caused."""
+        if now < self.now:
+            raise ValueError(f"clock moved backwards: {now} < {self.now}")
+        self.now = now
+        transitions: list[tuple[int, HealthState]] = []
+        for pid, entry in list(self._providers.items()):
+            silent = self.now - entry.last_heartbeat
+            if entry.state == HealthState.ALIVE and silent >= self.suspect_after:
+                entry.state = HealthState.SUSPECT
+                entry.suspected_at = self.now
+                transitions.append((pid, HealthState.SUSPECT))
+            if entry.state == HealthState.SUSPECT and silent >= self.evict_after:
+                entry.state = HealthState.DEAD
+                transitions.append((pid, HealthState.DEAD))
+                del self._providers[pid]
+        return transitions
+
+    # -- views ------------------------------------------------------------
+
+    def state_of(self, provider_id: int) -> HealthState:
+        entry = self._providers.get(provider_id)
+        return entry.state if entry is not None else HealthState.DEAD
+
+    def allocatable(self) -> list[int]:
+        """Providers eligible for fresh pages: ALIVE only."""
+        return sorted(
+            pid
+            for pid, entry in self._providers.items()
+            if entry.state == HealthState.ALIVE
+        )
+
+    def members(self) -> list[int]:
+        return sorted(self._providers)
+
+    def summary(self) -> dict[str, int]:
+        states = [e.state for e in self._providers.values()]
+        return {
+            "alive": sum(1 for s in states if s == HealthState.ALIVE),
+            "suspect": sum(1 for s in states if s == HealthState.SUSPECT),
+            "members": len(states),
+        }

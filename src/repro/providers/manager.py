@@ -1,0 +1,151 @@
+"""Provider manager.
+
+Keeps the registry of live data providers (each registers on entering the
+system, paper §III.A) and answers each WRITE's allocation request with one
+provider per fresh page — or ``replication`` providers per page when page
+replication is enabled (our implementation of the paper's future-work fault
+tolerance item).
+
+RPC surface:
+
+- ``pm.register(provider_id)`` -> current provider count
+- ``pm.deregister(provider_id)`` -> remaining count
+- ``pm.get_providers(blob_id, npages, pagesize)`` -> list of provider-id
+  groups, ``npages`` entries of ``replication`` ids each
+- ``pm.providers()`` -> sorted live provider ids
+- ``pm.report_usage(provider_id, bytes)`` -> ack (keeps load view honest)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import NotEnoughProviders
+from repro.providers.strategies import AllocationStrategy, RoundRobin
+
+
+class ProviderManager:
+    """Tracks providers and allocates storage targets for fresh pages."""
+
+    def __init__(
+        self,
+        strategy: AllocationStrategy | None = None,
+        replication: int = 1,
+        health=None,
+    ) -> None:
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.strategy = strategy or RoundRobin()
+        self.replication = replication
+        self.health = health  # optional repro.providers.health.HealthTracker
+        self._providers: set[int] = set()
+        self._load: dict[int, int] = {}  # allocated bytes per provider
+        self.allocations = 0
+
+    # -- membership -----------------------------------------------------
+
+    def register(self, provider_id: int) -> int:
+        self._providers.add(provider_id)
+        self._load.setdefault(provider_id, 0)
+        if self.health is not None:
+            self.health.register(provider_id)
+        return len(self._providers)
+
+    def deregister(self, provider_id: int) -> int:
+        self._providers.discard(provider_id)
+        self._load.pop(provider_id, None)
+        if self.health is not None:
+            self.health.deregister(provider_id)
+        return len(self._providers)
+
+    def heartbeat(self, provider_id: int, now: float | None = None) -> str:
+        """Record a provider heartbeat (requires a health tracker).
+
+        Passing ``now`` also advances the failure detector first, so
+        evictions implied by the new time take effect before the beat.
+        """
+        if self.health is None:
+            return "untracked"
+        if now is not None:
+            self.tick(now)
+        if provider_id not in self._providers:
+            self.register(provider_id)
+        return self.health.heartbeat(provider_id).value
+
+    def tick(self, now: float) -> list[tuple[int, str]]:
+        """Advance the failure detector; evicts DEAD providers."""
+        if self.health is None:
+            return []
+        transitions = self.health.advance(now)
+        for pid, state in transitions:
+            if state.value == "dead":
+                self._providers.discard(pid)
+                self._load.pop(pid, None)
+        return [(pid, state.value) for pid, state in transitions]
+
+    def providers(self) -> list[int]:
+        return sorted(self._providers)
+
+    @property
+    def provider_count(self) -> int:
+        return len(self._providers)
+
+    # -- allocation ------------------------------------------------------
+
+    def get_providers(
+        self, blob_id: str, npages: int, pagesize: int
+    ) -> list[tuple[int, ...]]:
+        """Choose ``replication`` distinct providers for each fresh page."""
+        if npages < 1:
+            raise ValueError(f"npages must be >= 1, got {npages}")
+        if self.health is not None:
+            live = [p for p in self.health.allocatable() if p in self._providers]
+        else:
+            live = sorted(self._providers)
+        if len(live) < self.replication:
+            raise NotEnoughProviders(
+                f"need {self.replication} providers, have {len(live)}"
+            )
+        groups: list[tuple[int, ...]] = []
+        for _ in range(npages):
+            primary = self.strategy.allocate(1, live, self._load)[0]
+            chosen = [primary]
+            if self.replication > 1:
+                # Replicas on the ring successors of the primary: distinct,
+                # deterministic, and spread independently of the strategy.
+                idx = live.index(primary)
+                for step in range(1, self.replication):
+                    chosen.append(live[(idx + step) % len(live)])
+            for p in chosen:
+                self._load[p] = self._load.get(p, 0) + pagesize
+            groups.append(tuple(chosen))
+        self.allocations += npages
+        return groups
+
+    def report_usage(self, provider_id: int, nbytes: int) -> bool:
+        """Correct the load view (e.g. after garbage collection freed pages)."""
+        if provider_id in self._providers:
+            self._load[provider_id] = max(0, int(nbytes))
+        return True
+
+    def load_view(self) -> dict[int, int]:
+        return dict(self._load)
+
+    # -- RPC dispatch -----------------------------------------------------
+
+    def handle(self, method: str, args: tuple) -> Any:
+        if method == "pm.get_providers":
+            return self.get_providers(*args)
+        if method == "pm.register":
+            return self.register(*args)
+        if method == "pm.deregister":
+            return self.deregister(*args)
+        if method == "pm.providers":
+            return self.providers()
+        if method == "pm.report_usage":
+            return self.report_usage(*args)
+        if method == "pm.heartbeat":
+            return self.heartbeat(*args)
+        if method == "pm.tick":
+            return self.tick(*args)
+        raise ValueError(f"provider manager: unknown method {method!r}")

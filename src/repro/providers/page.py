@@ -1,0 +1,82 @@
+"""Page identity and payloads.
+
+A WRITE stores its pages *before* asking the version manager for a version
+number (paper Figure 1), so page identity cannot contain the version.
+Instead every write carries a client-generated unique ``write_uid``; a page
+is addressed by ``(blob_id, write_uid, page_index)`` and the segment-tree
+leaves record the ``write_uid`` + provider, which lets any future version's
+READ reconstruct the key. The version label the paper mentions is attached
+logically by the leaf that references the page.
+
+Payloads come in two flavours:
+
+- *real*: actual bytes (functional paths: tests, examples, the sky app);
+- *virtual*: only a byte count (simulation benches — Figures 3(a-c) measure
+  protocol time, not memcpy, and materializing terabytes would be absurd).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.net.message import PAGE_KEY_BYTES, estimate_size
+
+
+class PageKey(NamedTuple):
+    """Globally unique page address."""
+
+    blob_id: str
+    write_uid: str
+    index: int  # page index within the blob (offset // pagesize)
+
+
+def page_key_for(blob_id: str, write_uid: str, index: int) -> PageKey:
+    if index < 0:
+        raise ValueError(f"page index must be >= 0, got {index}")
+    return PageKey(blob_id, write_uid, index)
+
+
+@dataclass(frozen=True, slots=True)
+class PagePayload:
+    """Contents of one page: real bytes or a virtual placeholder."""
+
+    nbytes: int
+    data: bytes | None = None  # None => virtual
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+        if self.data is not None and len(self.data) != self.nbytes:
+            raise ValueError(
+                f"payload length {len(self.data)} != declared nbytes {self.nbytes}"
+            )
+
+    @classmethod
+    def real(cls, data: bytes | bytearray | memoryview) -> "PagePayload":
+        b = bytes(data)
+        return cls(nbytes=len(b), data=b)
+
+    @classmethod
+    def virtual(cls, nbytes: int) -> "PagePayload":
+        return cls(nbytes=nbytes, data=None)
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.data is None
+
+    def as_bytes(self) -> bytes:
+        """Materialize contents (virtual payloads read as zeros)."""
+        if self.data is None:
+            return bytes(self.nbytes)
+        return self.data
+
+
+@estimate_size.register
+def _(obj: PagePayload) -> int:
+    return PAGE_KEY_BYTES + obj.nbytes
+
+
+@estimate_size.register
+def _(obj: PageKey) -> int:
+    return PAGE_KEY_BYTES

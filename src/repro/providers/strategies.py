@@ -1,0 +1,129 @@
+"""Page-allocation strategies for the provider manager.
+
+The paper requires "some strategy that favors global load balancing"
+(§III.A). Three implementations are provided; all are deterministic given
+their construction parameters so experiments are reproducible.
+
+A strategy maps ``(npages, providers, load)`` to a list of provider ids,
+one per fresh page, where ``load`` is the manager's view of allocated bytes
+per provider.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.util.rng import substream
+
+
+class AllocationStrategy(ABC):
+    """Strategy interface: choose a provider for each fresh page."""
+
+    @abstractmethod
+    def allocate(
+        self,
+        npages: int,
+        providers: Sequence[int],
+        load: dict[int, int],
+    ) -> list[int]:
+        """Return ``npages`` provider ids (repetition allowed)."""
+
+    def reset(self) -> None:
+        """Forget internal state (e.g. round-robin cursor)."""
+
+
+class RoundRobin(AllocationStrategy):
+    """Cycle through providers; simple and perfectly balanced in aggregate.
+
+    This matches the uniform dispersal the paper's experiments rely on: a
+    segment of n pages lands on n distinct providers whenever n <= provider
+    count, maximizing parallel transfer.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def allocate(
+        self, npages: int, providers: Sequence[int], load: dict[int, int]
+    ) -> list[int]:
+        out = []
+        m = len(providers)
+        for _ in range(npages):
+            out.append(providers[self._cursor % m])
+            self._cursor += 1
+        return out
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+class LeastLoaded(AllocationStrategy):
+    """Greedy: each page goes to the provider with the fewest allocated
+    bytes (counting pages allocated earlier in the same request)."""
+
+    def __init__(self, pagesize_hint: int = 1) -> None:
+        self.pagesize_hint = max(1, pagesize_hint)
+
+    def allocate(
+        self, npages: int, providers: Sequence[int], load: dict[int, int]
+    ) -> list[int]:
+        # (load, provider_id) heap; stable for equal loads via provider id.
+        heap = [(load.get(p, 0), p) for p in providers]
+        heapq.heapify(heap)
+        out = []
+        for _ in range(npages):
+            current, p = heapq.heappop(heap)
+            out.append(p)
+            heapq.heappush(heap, (current + self.pagesize_hint, p))
+        return out
+
+
+class RandomK(AllocationStrategy):
+    """Power-of-k-choices: sample k candidates, take the least loaded.
+
+    ``k=1`` degenerates to uniform random placement; ``k=2`` already gives
+    near-optimal balance with high probability (classic balls-into-bins
+    result), at lower bookkeeping cost than :class:`LeastLoaded`.
+    """
+
+    def __init__(self, k: int = 2, seed: int = 0) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._rng = substream(seed, "randomk")
+        self._seed = seed
+
+    def allocate(
+        self, npages: int, providers: Sequence[int], load: dict[int, int]
+    ) -> list[int]:
+        out = []
+        local = dict(load)
+        m = len(providers)
+        for _ in range(npages):
+            picks = self._rng.integers(0, m, size=min(self.k, m))
+            best = min((providers[int(i)] for i in picks), key=lambda p: local.get(p, 0))
+            out.append(best)
+            local[best] = local.get(best, 0) + 1
+        return out
+
+    def reset(self) -> None:
+        self._rng = substream(self._seed, "randomk")
+
+
+def make_strategy(name: str, **kwargs: object) -> AllocationStrategy:
+    """Factory used by deployment configs: ``round_robin`` / ``least_loaded``
+    / ``random_k``."""
+    table = {
+        "round_robin": RoundRobin,
+        "least_loaded": LeastLoaded,
+        "random_k": RandomK,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; expected one of {sorted(table)}"
+        ) from None
+    return cls(**kwargs)  # type: ignore[arg-type]

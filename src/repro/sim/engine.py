@@ -1,0 +1,307 @@
+"""Generator-based discrete-event engine.
+
+A :class:`Simulator` owns a priority queue of timestamped callbacks. A
+:class:`Process` wraps a Python generator that *yields events*; when a
+yielded event triggers, the generator is resumed with the event's value (or
+has the event's exception thrown into it). ``yield from`` composes naturally,
+so protocol code written as generators (see :mod:`repro.net.sansio`) runs
+unchanged inside the simulation.
+
+The engine is deterministic: events scheduled for the same timestamp fire in
+scheduling order (a monotonically increasing sequence number breaks ties).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+SimGenerator = Generator["Event", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (double trigger, yielding non-events, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupts."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence with a value or an exception.
+
+    Callbacks receive the event itself. Events are created through their
+    simulator so they can schedule their callbacks on trigger.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_exc", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._callbacks: list[Callable[[Event], None]] | None = []
+        self._triggered = False
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._exc
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so it does not crash the run loop."""
+        self._defused = True
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self._callbacks is None:
+            # Already dispatched: run on the next tick to keep ordering sane.
+            self.sim._schedule(0.0, lambda: fn(self))
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        self._trigger(value, None)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() expects an exception, got {exc!r}")
+        self._trigger(None, exc)
+        return self
+
+    def _trigger(self, value: Any, exc: BaseException | None) -> None:
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self._exc = exc
+        self.sim._schedule(0.0, self._dispatch)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        assert callbacks is not None
+        for fn in callbacks:
+            fn(self)
+        if self._exc is not None and not self._defused and not callbacks:
+            # An unwatched failure would vanish silently; surface it.
+            raise self._exc
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        sim._schedule(delay, lambda: self.succeed(value))
+
+
+class Process(Event):
+    """A running generator; as an Event it triggers on process completion."""
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", gen: SimGenerator, name: str = "?") -> None:
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on: Event | None = None
+        self.name = name
+        sim._schedule(0.0, lambda: self._resume(None))
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None:
+            self._waiting_on = None
+        self.sim._schedule(0.0, lambda: self._throw(Interrupt(cause)))
+
+    def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up after an interrupt
+        self._waiting_on = None
+        if event.ok:
+            self._step(lambda: self._gen.send(event._value))
+        else:
+            event.defuse()
+            assert event._exc is not None
+            self._step(lambda: self._gen.throw(event._exc))
+
+    def _resume(self, _: object) -> None:
+        self._step(lambda: next(self._gen))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        self._step(lambda: self._gen.throw(exc))
+
+    def _step(self, advance: Callable[[], Event]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}, expected an Event"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class AllOf(Event):
+    """Triggers when all child events have; value is their list of values.
+
+    The first child failure fails the whole composition (remaining failures
+    are defused so the run loop does not crash).
+    """
+
+    __slots__ = ("_pending", "_children")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            if not event.ok:
+                event.defuse()
+            return
+        if not event.ok:
+            event.defuse()
+            assert event._exc is not None
+            self.fail(event._exc)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self._children])
+
+
+class AnyOf(Event):
+    """Triggers when the first child does; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for i, ev in enumerate(self._children):
+            ev.add_callback(lambda event, i=i: self._on_child(i, event))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self._triggered:
+            if not event.ok:
+                event.defuse()
+            return
+        if not event.ok:
+            event.defuse()
+            assert event._exc is not None
+            self.fail(event._exc)
+            return
+        self.succeed((index, event._value))
+
+
+class Simulator:
+    """The event loop: virtual clock plus a heap of pending callbacks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._processes_started = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    # -- factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: SimGenerator, name: str | None = None) -> Process:
+        self._processes_started += 1
+        return Process(self, gen, name or f"proc-{self._processes_started}")
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- running ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute the next scheduled callback, advancing the clock."""
+        when, _, fn = heapq.heappop(self._queue)
+        self.now = when
+        fn()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        Returns the event's value when ``until`` is an Event.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.triggered:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation queue drained before the awaited event fired"
+                    )
+                self.step()
+            return stop.value
+        deadline = float("inf") if until is None else float(until)
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if until is not None:
+            self.now = max(self.now, deadline)
+        return None

@@ -1,0 +1,65 @@
+"""Simulation tracing: per-node utilization reports.
+
+Every :class:`~repro.sim.resources.RateLane` accumulates busy time, so a
+finished run can be summarized into per-node CPU/NIC utilization — the
+tool for answering "what was the bottleneck?" for any experiment (e.g.
+Figure 3(c)'s flat write curve is explained by no lane saturating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.network import Network, SimNode
+
+
+@dataclass(frozen=True)
+class NodeUtilization:
+    name: str
+    role: str
+    cpu: float
+    tx: float
+    rx: float
+
+    @property
+    def hottest(self) -> tuple[str, float]:
+        lanes = {"cpu": self.cpu, "tx": self.tx, "rx": self.rx}
+        lane = max(lanes, key=lanes.get)  # type: ignore[arg-type]
+        return lane, lanes[lane]
+
+
+def node_utilization(node: SimNode, elapsed: float) -> NodeUtilization:
+    return NodeUtilization(
+        name=node.name,
+        role=node.role,
+        cpu=node.cpu.utilization(elapsed),
+        tx=node.tx.utilization(elapsed),
+        rx=node.rx.utilization(elapsed),
+    )
+
+
+def utilization_report(network: Network, elapsed: float | None = None) -> list[NodeUtilization]:
+    """Utilization of every node over ``elapsed`` (default: sim.now)."""
+    window = network.sim.now if elapsed is None else elapsed
+    return [node_utilization(n, window) for n in network.nodes.values()]
+
+
+def hottest_nodes(network: Network, top: int = 5) -> list[NodeUtilization]:
+    """The ``top`` most loaded nodes by their hottest lane."""
+    report = utilization_report(network)
+    return sorted(report, key=lambda u: u.hottest[1], reverse=True)[:top]
+
+
+def render_utilization(network: Network, top: int | None = None) -> str:
+    """Plain-text utilization table (sorted by hottest lane)."""
+    rows = hottest_nodes(network, top or len(network.nodes))
+    lines = [
+        f"utilization over {network.sim.now:.3f} simulated seconds "
+        f"({network.messages_sent} messages, {network.bytes_sent} bytes):",
+        f"  {'node':<14} {'role':<7} {'cpu':>6} {'tx':>6} {'rx':>6}",
+    ]
+    for u in rows:
+        lines.append(
+            f"  {u.name:<14} {u.role:<7} {u.cpu:>6.1%} {u.tx:>6.1%} {u.rx:>6.1%}"
+        )
+    return "\n".join(lines)

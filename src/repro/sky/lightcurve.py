@@ -1,0 +1,102 @@
+"""Light-curve extraction and classification.
+
+Confirming a supernova "requires [analyzing] the light curve and spectrum
+of each potential candidate" (paper §I). With epoch images available as
+blob versions, a candidate's light curve is aperture photometry at its
+position across versions; classification separates the one-shot
+rise-then-decay supernova signature from periodic variables and noise.
+
+The classifier is feature-based and deterministic: amplitude significance,
+number of significant peaks, and rise/decay asymmetry around the global
+maximum. It is intentionally simple — the reproduction target is the data
+path, not astronomy state-of-the-art — but it is honest: tested on
+synthetic truth with precision/recall reported by the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+SUPERNOVA = "supernova"
+VARIABLE = "variable"
+NOISE = "noise"
+
+
+def extract_flux(
+    image: np.ndarray, x: float, y: float, aperture: int = 4
+) -> float:
+    """Background-subtracted aperture photometry at (x, y)."""
+    h, w = image.shape
+    x0, x1 = max(0, int(x) - aperture), min(w, int(x) + aperture + 1)
+    y0, y1 = max(0, int(y) - aperture), min(h, int(y) + aperture + 1)
+    patch = image[y0:y1, x0:x1].astype(np.float64)
+    background = float(np.median(image.astype(np.float64)))
+    return float(patch.sum() - background * patch.size)
+
+
+@dataclass(frozen=True)
+class CurveFeatures:
+    amplitude: float
+    significance: float
+    n_peaks: int
+    rise_epochs: float
+    decay_epochs: float
+
+    @property
+    def asymmetry(self) -> float:
+        """Decay/rise duration ratio; supernovae decay slower than they rise."""
+        return self.decay_epochs / max(self.rise_epochs, 0.5)
+
+
+def curve_features(curve: np.ndarray, noise_floor: float) -> CurveFeatures:
+    """Extract classification features from a flux-vs-epoch series."""
+    curve = np.asarray(curve, dtype=np.float64)
+    base = float(np.min(curve))
+    detrended = curve - base
+    amplitude = float(np.max(detrended))
+    significance = amplitude / max(noise_floor, 1e-9)
+    half = amplitude / 2.0
+    above = detrended >= half
+    # count distinct half-max excursions (runs of `above`)
+    n_peaks = int(np.sum(above[1:] & ~above[:-1]) + (1 if above[0] else 0))
+    peak_idx = int(np.argmax(detrended))
+    rise = _runs_from(above, peak_idx, step=-1)
+    decay = _runs_from(above, peak_idx, step=+1)
+    return CurveFeatures(
+        amplitude=amplitude,
+        significance=significance,
+        n_peaks=n_peaks,
+        rise_epochs=rise,
+        decay_epochs=decay,
+    )
+
+
+def _runs_from(above: np.ndarray, start: int, step: int) -> float:
+    """Epochs the curve stays above half-max walking from the peak."""
+    count = 0
+    i = start
+    while 0 <= i < len(above) and above[i]:
+        count += 1
+        i += step
+    return float(count)
+
+
+def classify_lightcurve(
+    curve: np.ndarray,
+    noise_floor: float,
+    min_significance: float = 5.0,
+) -> str:
+    """``supernova`` / ``variable`` / ``noise`` for a flux-vs-epoch series."""
+    feats = curve_features(np.asarray(curve, dtype=np.float64), noise_floor)
+    if feats.significance < min_significance:
+        return NOISE
+    if feats.n_peaks >= 2:
+        return VARIABLE  # periodic: several half-max excursions
+    # One peak: supernovae decay slower than they rise; a symmetric or
+    # rise-dominated single excursion within a short window is more likely
+    # one phase of a slow periodic variable.
+    if feats.asymmetry >= 1.0:
+        return SUPERNOVA
+    return VARIABLE

@@ -1,0 +1,197 @@
+"""Synthetic sky: star fields, supernovae, variable stars, epoch rendering.
+
+Every tile's base star field is a pure function of ``(seed, tile)``; every
+epoch adds fresh (seeded) sensor noise plus the time-dependent flux of any
+transient events. Rendering is vectorized NumPy: stars are Gaussian PSF
+splats accumulated into the tile, clipped to the uint16 dynamic range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import exp, pi, sin
+
+import numpy as np
+
+from repro.util.rng import substream
+
+
+@dataclass(frozen=True)
+class SkySpec:
+    """Geometry and statistics of the synthetic sky."""
+
+    tiles_x: int = 4
+    tiles_y: int = 4
+    tile_height: int = 128  # pixels
+    tile_width: int = 256  # pixels (128 x 256 x uint16 = 64 KB = 1 page)
+    stars_per_tile: int = 80
+    star_flux_min: float = 300.0
+    star_flux_max: float = 12_000.0
+    psf_sigma: float = 1.6  # pixels
+    sky_background: float = 180.0
+    noise_sigma: float = 12.0
+    seed: int = 7
+
+    @property
+    def tile_pixels(self) -> int:
+        return self.tile_height * self.tile_width
+
+    @property
+    def tile_bytes(self) -> int:
+        return self.tile_pixels * 2  # uint16
+
+    @property
+    def n_tiles(self) -> int:
+        return self.tiles_x * self.tiles_y
+
+
+@dataclass(frozen=True)
+class SupernovaEvent:
+    """A transient with the classic fast-rise / slow-decay light curve."""
+
+    tile: tuple[int, int]
+    x: float  # column, pixels
+    y: float  # row, pixels
+    t0: float  # epoch of peak
+    peak_flux: float
+    rise: float = 1.2  # epochs (gaussian rise width)
+    decay: float = 3.5  # epochs (exponential decay constant)
+
+    def flux(self, t: float) -> float:
+        if t <= self.t0:
+            return self.peak_flux * exp(-((t - self.t0) ** 2) / (2 * self.rise**2))
+        return self.peak_flux * exp(-(t - self.t0) / self.decay)
+
+
+@dataclass(frozen=True)
+class VariableStar:
+    """A periodic variable — the classifier's confuser (paper §I)."""
+
+    tile: tuple[int, int]
+    x: float
+    y: float
+    base_flux: float
+    amplitude: float
+    period: float  # epochs
+    phase: float = 0.0
+
+    def flux(self, t: float) -> float:
+        return self.base_flux + self.amplitude * sin(
+            2 * pi * t / self.period + self.phase
+        )
+
+
+@dataclass
+class SkyModel:
+    """Deterministic generator of tile images over epochs."""
+
+    spec: SkySpec = field(default_factory=SkySpec)
+    supernovae: list[SupernovaEvent] = field(default_factory=list)
+    variables: list[VariableStar] = field(default_factory=list)
+
+    # -- event population -------------------------------------------------
+
+    @classmethod
+    def with_random_events(
+        cls,
+        spec: SkySpec,
+        n_supernovae: int,
+        n_variables: int,
+        epochs: int,
+    ) -> "SkyModel":
+        """Scatter events uniformly over tiles and time (deterministic)."""
+        rng = substream(spec.seed, "events")
+        margin = 8  # keep events away from tile edges for clean photometry
+
+        def random_pos() -> tuple[tuple[int, int], float, float]:
+            tx = int(rng.integers(0, spec.tiles_x))
+            ty = int(rng.integers(0, spec.tiles_y))
+            x = float(rng.uniform(margin, spec.tile_width - margin))
+            y = float(rng.uniform(margin, spec.tile_height - margin))
+            return (tx, ty), x, y
+
+        supernovae = []
+        for _ in range(n_supernovae):
+            tile, x, y = random_pos()
+            supernovae.append(
+                SupernovaEvent(
+                    tile=tile,
+                    x=x,
+                    y=y,
+                    t0=float(rng.uniform(1.0, max(1.5, epochs - 2.0))),
+                    peak_flux=float(rng.uniform(2_500.0, 9_000.0)),
+                    rise=float(rng.uniform(0.8, 1.6)),
+                    decay=float(rng.uniform(2.5, 5.0)),
+                )
+            )
+        variables = []
+        for _ in range(n_variables):
+            tile, x, y = random_pos()
+            variables.append(
+                VariableStar(
+                    tile=tile,
+                    x=x,
+                    y=y,
+                    base_flux=float(rng.uniform(1_200.0, 4_000.0)),
+                    amplitude=float(rng.uniform(800.0, 2_500.0)),
+                    period=float(rng.uniform(2.0, 4.0)),
+                    phase=float(rng.uniform(0.0, 2 * pi)),
+                )
+            )
+        return cls(spec=spec, supernovae=supernovae, variables=variables)
+
+    # -- rendering -----------------------------------------------------------
+
+    def base_field(self, tile: tuple[int, int]) -> np.ndarray:
+        """The static star field of a tile (float64, no noise)."""
+        spec = self.spec
+        rng = substream(spec.seed, "field", tile)
+        img = np.full((spec.tile_height, spec.tile_width), spec.sky_background)
+        n = spec.stars_per_tile
+        xs = rng.uniform(0, spec.tile_width, size=n)
+        ys = rng.uniform(0, spec.tile_height, size=n)
+        # log-uniform fluxes: many faint stars, few bright ones
+        fluxes = np.exp(
+            rng.uniform(
+                np.log(spec.star_flux_min), np.log(spec.star_flux_max), size=n
+            )
+        )
+        for x, y, f in zip(xs, ys, fluxes):
+            _splat(img, x, y, f, spec.psf_sigma)
+        return img
+
+    def render_epoch(self, tile: tuple[int, int], epoch: int) -> np.ndarray:
+        """One observation: base field + transients(t) + fresh noise (uint16)."""
+        spec = self.spec
+        img = self.base_field(tile).copy()
+        for sn in self.supernovae:
+            if sn.tile == tile:
+                f = sn.flux(float(epoch))
+                if f > 1e-3:
+                    _splat(img, sn.x, sn.y, f, spec.psf_sigma)
+        for var in self.variables:
+            if var.tile == tile:
+                _splat(img, var.x, var.y, max(0.0, var.flux(float(epoch))), spec.psf_sigma)
+        noise_rng = substream(spec.seed, "noise", tile, epoch)
+        img += noise_rng.normal(0.0, spec.noise_sigma, size=img.shape)
+        return np.clip(img, 0, np.iinfo(np.uint16).max).astype(np.uint16)
+
+    def events_in_tile(self, tile: tuple[int, int]) -> list[object]:
+        return [e for e in (*self.supernovae, *self.variables) if e.tile == tile]
+
+
+def _splat(img: np.ndarray, x: float, y: float, flux: float, sigma: float) -> None:
+    """Accumulate a Gaussian PSF of total ``flux`` at (x, y), in place."""
+    if flux <= 0:
+        return
+    h, w = img.shape
+    r = max(2, int(4 * sigma))
+    x0, x1 = max(0, int(x) - r), min(w, int(x) + r + 1)
+    y0, y1 = max(0, int(y) - r), min(h, int(y) + r + 1)
+    if x0 >= x1 or y0 >= y1:
+        return
+    ys = np.arange(y0, y1)[:, None]
+    xs = np.arange(x0, x1)[None, :]
+    psf = np.exp(-((xs - x) ** 2 + (ys - y) ** 2) / (2 * sigma**2))
+    psf *= flux / (2 * pi * sigma**2)
+    img[y0:y1, x0:x1] += psf

@@ -1,0 +1,12 @@
+"""Command-line tools shipped with the release.
+
+- ``python -m repro.tools.figures`` — regenerate any paper figure/ablation
+  on the simulated cluster and print the measured-vs-paper table;
+- ``python -m repro.tools.campaign`` — run a synthetic supernova survey
+  end-to-end and report detection quality;
+- ``python -m repro.tools.inspect`` — demo blob: dump segment trees,
+  structural sharing and diffs for a scripted write history.
+
+All tools are plain ``main(argv)`` functions, so they are unit-testable
+without subprocesses.
+"""

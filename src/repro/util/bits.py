@@ -1,0 +1,61 @@
+"""Power-of-two arithmetic.
+
+The paper fixes both the blob size and ``pagesize`` to powers of two, which
+makes the segment-tree geometry exact: every tree node covers an interval
+whose size is a power of two and whose offset is a multiple of its size.
+These helpers implement that arithmetic once, with validation, so the rest of
+the code can assume well-formed values.
+"""
+
+from __future__ import annotations
+
+
+def is_pow2(x: int) -> bool:
+    """Return True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def log2_exact(x: int) -> int:
+    """Return ``k`` such that ``2**k == x``.
+
+    Raises:
+        ValueError: if ``x`` is not a positive power of two.
+    """
+    if not is_pow2(x):
+        raise ValueError(f"expected a positive power of two, got {x!r}")
+    return x.bit_length() - 1
+
+
+def ceil_pow2(x: int) -> int:
+    """Smallest power of two >= ``x`` (for ``x >= 1``)."""
+    if x < 1:
+        raise ValueError(f"expected x >= 1, got {x!r}")
+    return 1 << (x - 1).bit_length()
+
+
+def floor_pow2(x: int) -> int:
+    """Largest power of two <= ``x`` (for ``x >= 1``)."""
+    if x < 1:
+        raise ValueError(f"expected x >= 1, got {x!r}")
+    return 1 << (x.bit_length() - 1)
+
+
+def align_down(x: int, a: int) -> int:
+    """Round ``x`` down to a multiple of the power-of-two ``a``."""
+    if not is_pow2(a):
+        raise ValueError(f"alignment must be a power of two, got {a!r}")
+    return x & ~(a - 1)
+
+
+def align_up(x: int, a: int) -> int:
+    """Round ``x`` up to a multiple of the power-of-two ``a``."""
+    if not is_pow2(a):
+        raise ValueError(f"alignment must be a power of two, got {a!r}")
+    return (x + a - 1) & ~(a - 1)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b!r}")
+    return -(-a // b)

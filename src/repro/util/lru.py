@@ -1,0 +1,86 @@
+"""A small LRU map used for the client-side metadata cache.
+
+Tree nodes are immutable and keyed by ``(blob, version, interval)``, so the
+cache never needs invalidation — the only policy decision is eviction. The
+paper's prototype accommodates 2**20 tree nodes client-side; we default the
+same way in :class:`repro.metadata.cache.MetadataCache`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping with least-recently-used eviction.
+
+    Not thread-safe by itself; the threaded deployment wraps accesses in a
+    per-client lock (client caches are private, so this is uncontended).
+    """
+
+    __slots__ = ("_capacity", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Return the cached value (refreshing recency) or ``default``."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value  # type: ignore[return-value]
+
+    def peek(self, key: K, default: V | None = None) -> V | None:
+        """Return the cached value without touching recency or stats."""
+        value = self._data.get(key, _MISSING)
+        return default if value is _MISSING else value  # type: ignore[return-value]
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or refresh an entry, evicting the LRU entry if full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._data[key] = value
+            return
+        if len(self._data) >= self._capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+        self._data[key] = value
+
+    def pop(self, key: K, default: V | None = None) -> V | None:
+        return self._data.pop(key, default)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

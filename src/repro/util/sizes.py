@@ -1,0 +1,61 @@
+"""Byte-size constants, formatting and parsing.
+
+The paper mixes units freely (64 KB pages, MB segments, GB windows, TB
+blobs); these helpers keep workload definitions readable, e.g.
+``BlobConfig(total_size=1 * TB, pagesize=64 * KB)``.
+"""
+
+from __future__ import annotations
+
+import re
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+TB = 1 << 40
+
+_UNITS: list[tuple[int, str]] = [(TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")]
+
+_PARSE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGT]?B?)\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTOR = {
+    "": 1,
+    "B": 1,
+    "KB": KB,
+    "K": KB,
+    "MB": MB,
+    "M": MB,
+    "GB": GB,
+    "G": GB,
+    "TB": TB,
+    "T": TB,
+}
+
+
+def human_size(nbytes: int | float) -> str:
+    """Format a byte count in binary units, e.g. ``human_size(1 << 26)
+    == '64 MB'``. Fractional values keep one decimal (``'1.5 MB'``)."""
+    if nbytes < 0:
+        return "-" + human_size(-nbytes)
+    for factor, unit in _UNITS:
+        if nbytes >= factor:
+            value = nbytes / factor
+            if value == int(value):
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+    if nbytes == int(nbytes):
+        return f"{int(nbytes)} B"
+    return f"{nbytes:.1f} B"
+
+
+def parse_size(text: str) -> int:
+    """Parse ``'64KB'``, ``'1.5 MB'``, ``'1T'`` … into a byte count."""
+    m = _PARSE_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse size {text!r}")
+    unit = m.group("unit").upper()
+    if unit not in _UNIT_FACTOR:
+        raise ValueError(f"unknown unit in {text!r}")
+    return int(float(m.group("num")) * _UNIT_FACTOR[unit])

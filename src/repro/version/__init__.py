@@ -1,0 +1,13 @@
+"""Versioning: patch history and the version manager.
+
+The version manager is "the key actor of the system" (paper §III.A): it
+assigns version numbers (the only serialization in the whole data path),
+publishes snapshots strictly in version order, and precomputes the border
+references that let concurrent writers weave their metadata subtrees in
+complete isolation (paper §IV.C).
+"""
+
+from repro.version.history import PatchHistory
+from repro.version.manager import VersionManager, WriteTicket
+
+__all__ = ["PatchHistory", "VersionManager", "WriteTicket"]

@@ -1,0 +1,211 @@
+"""The version manager.
+
+Responsibilities (paper §III.A, §IV):
+
+- ``alloc``: mint blob ids and record their geometry;
+- ``assign``: hand out the next version number for a WRITE, together with
+  the precomputed border references that make metadata weaving a purely
+  local computation for the writer (write/write concurrency, §IV.C);
+- ``complete``: accept a writer's success report and **publish versions
+  strictly in version order** — a snapshot becomes readable only once all
+  earlier snapshots are complete, which is what gives every reader the
+  same total order of writes (global serializability, §II);
+- ``get_latest`` / ``stat``: serve readers the latest published version
+  (the only reader interaction with any centralized entity, §IV.A).
+
+The manager is deliberately a small, fast state machine: the paper's whole
+point is that this is the *only* serialization in the system, so everything
+here is O(patch metadata) per write and O(1) per read.
+
+Extension beyond the paper (documented in DESIGN.md): ``abandon`` lets the
+most recent writer back out (e.g. client crash before publishing) by
+rolling the assignment back, preserving liveness for later writers. The
+general failed-writer recovery problem is future work in the paper as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import BlobNotFound, StaleWrite, VersionNotPublished
+from repro.metadata.tree import TreeGeometry
+from repro.util.intervals import Interval
+from repro.version.history import PatchHistory
+
+#: Sentinel clients pass to READ for "the latest published version".
+LATEST = -1
+
+
+@dataclass(frozen=True, slots=True)
+class WriteTicket:
+    """Everything a writer needs to weave its subtree in isolation."""
+
+    blob_id: str
+    version: int
+    #: ((offset, size), version) for every border child interval
+    border_refs: tuple[tuple[tuple[int, int], int], ...]
+
+    def refs_as_dict(self) -> dict[Interval, int]:
+        return {Interval(o, s): v for (o, s), v in self.border_refs}
+
+
+@dataclass
+class _BlobState:
+    blob_id: str
+    geom: TreeGeometry
+    history: PatchHistory
+    next_version: int = 1
+    latest_published: int = 0
+    in_flight: dict[int, Interval] = field(default_factory=dict)
+    completed: set[int] = field(default_factory=set)
+
+
+class VersionManager:
+    """Centralized version authority (one per deployment)."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, _BlobState] = {}
+        self._alloc_counter = 0
+        self.assigns = 0
+        self.completions = 0
+
+    # -- blob lifecycle -----------------------------------------------------
+
+    def alloc(self, total_size: int, pagesize: int) -> str:
+        """Create a blob; returns its globally unique id (paper's ALLOC)."""
+        geom = TreeGeometry(total_size, pagesize)  # validates geometry
+        self._alloc_counter += 1
+        blob_id = f"blob-{self._alloc_counter:06d}"
+        self._blobs[blob_id] = _BlobState(
+            blob_id=blob_id, geom=geom, history=PatchHistory(geom)
+        )
+        return blob_id
+
+    def stat(self, blob_id: str) -> tuple[int, int, int]:
+        """``(total_size, pagesize, latest_published)`` for a blob."""
+        st = self._state(blob_id)
+        return (st.geom.total_size, st.geom.pagesize, st.latest_published)
+
+    def blob_ids(self) -> list[str]:
+        return sorted(self._blobs)
+
+    # -- write path ------------------------------------------------------------
+
+    def assign(self, blob_id: str, offset: int, size: int) -> WriteTicket:
+        """Serialize this WRITE: next version number + border references."""
+        st = self._state(blob_id)
+        patch = st.geom.check_aligned(offset, size)
+        refs = st.history.border_refs(patch)
+        version = st.next_version
+        st.next_version += 1
+        st.history.record(version, patch)
+        st.in_flight[version] = patch
+        self.assigns += 1
+        return WriteTicket(
+            blob_id=blob_id,
+            version=version,
+            border_refs=tuple(
+                sorted(((iv.offset, iv.size), v) for iv, v in refs.items())
+            ),
+        )
+
+    def complete(self, blob_id: str, version: int) -> int:
+        """Report success; publish in-order; return latest published."""
+        st = self._state(blob_id)
+        if version not in st.in_flight:
+            raise StaleWrite(
+                f"blob {blob_id}: completion for unknown version {version}"
+            )
+        del st.in_flight[version]
+        st.completed.add(version)
+        st.history.forget_undo(version)
+        # Publish every consecutive completed version (liveness: a write
+        # publishes as soon as all of its predecessors have completed).
+        while (st.latest_published + 1) in st.completed:
+            st.latest_published += 1
+            st.completed.discard(st.latest_published)
+        self.completions += 1
+        return st.latest_published
+
+    def abandon(self, blob_id: str, version: int) -> int:
+        """Back out the *most recent* assignment (extension, see module doc)."""
+        st = self._state(blob_id)
+        if version not in st.in_flight:
+            raise StaleWrite(
+                f"blob {blob_id}: abandon for unknown version {version}"
+            )
+        if version != st.next_version - 1:
+            raise StaleWrite(
+                f"blob {blob_id}: only the most recently assigned version "
+                f"({st.next_version - 1}) can be abandoned, not {version}"
+            )
+        st.history.rollback_last(version)
+        del st.in_flight[version]
+        st.next_version -= 1
+        return st.next_version
+
+    # -- read path ----------------------------------------------------------
+
+    def get_latest(self, blob_id: str) -> int:
+        return self._state(blob_id).latest_published
+
+    def resolve_read(self, blob_id: str, version: int) -> tuple[int, int]:
+        """Validate a READ's version; returns ``(effective, latest)``.
+
+        Implements the paper's contract: reading an unpublished version
+        fails; ``LATEST`` resolves to the newest published snapshot.
+        """
+        st = self._state(blob_id)
+        latest = st.latest_published
+        effective = latest if version == LATEST else version
+        if effective < 0 or effective > latest:
+            raise VersionNotPublished(blob_id, version, latest)
+        return effective, latest
+
+    # -- introspection ---------------------------------------------------------
+
+    def in_flight_versions(self, blob_id: str) -> list[int]:
+        return sorted(self._state(blob_id).in_flight)
+
+    def patches(self, blob_id: str) -> list[tuple[int, int, int]]:
+        """Recorded patch catalog: ``(version, offset, size)`` per write
+        (published and in-flight), in version order. Tooling surface."""
+        st = self._state(blob_id)
+        return [(v, p.offset, p.size) for v, p in st.history.patches]
+
+    def patch_of(self, blob_id: str, version: int) -> Interval:
+        st = self._state(blob_id)
+        for v, patch in st.history.patches:
+            if v == version:
+                return patch
+        raise StaleWrite(f"blob {blob_id}: no recorded patch for version {version}")
+
+    def _state(self, blob_id: str) -> _BlobState:
+        try:
+            return self._blobs[blob_id]
+        except KeyError:
+            raise BlobNotFound(f"unknown blob id {blob_id!r}") from None
+
+    # -- RPC dispatch ----------------------------------------------------------
+
+    def handle(self, method: str, args: tuple) -> Any:
+        if method == "vm.get_latest":
+            return self.get_latest(*args)
+        if method == "vm.resolve_read":
+            return self.resolve_read(*args)
+        if method == "vm.assign":
+            return self.assign(*args)
+        if method == "vm.complete":
+            return self.complete(*args)
+        if method == "vm.alloc":
+            return self.alloc(*args)
+        if method == "vm.stat":
+            return self.stat(*args)
+        if method == "vm.abandon":
+            return self.abandon(*args)
+        if method == "vm.in_flight":
+            return self.in_flight_versions(*args)
+        if method == "vm.patches":
+            return self.patches(*args)
+        raise ValueError(f"version manager: unknown method {method!r}")

@@ -1,0 +1,145 @@
+"""File-like blob access."""
+
+import io
+
+import pytest
+
+from repro.core.blobfile import BlobFile, open_blob
+from repro.errors import ReproError
+from tests.conftest import SMALL_PAGE, SMALL_TOTAL, pages
+
+
+class TestReadSide:
+    def test_sequential_reads(self, client, blob):
+        client.write(blob, pages(2, b"ab"), 0)
+        with open_blob(client, blob) as f:
+            assert f.read(4) == b"abab"
+            assert f.tell() == 4
+            assert f.read(2) == b"ab"
+
+    def test_read_all_remaining(self, client, blob):
+        client.write(blob, pages(1, b"z"), 0)
+        f = open_blob(client, blob)
+        f.seek(SMALL_TOTAL - 8)
+        assert f.read() == bytes(8)
+        assert f.read() == b""  # at EOF
+
+    def test_seek_whence_modes(self, client, blob):
+        f = open_blob(client, blob)
+        assert f.seek(10) == 10
+        assert f.seek(5, io.SEEK_CUR) == 15
+        assert f.seek(-4, io.SEEK_END) == SMALL_TOTAL - 4
+        with pytest.raises(ValueError):
+            f.seek(-1)
+        with pytest.raises(ValueError):
+            f.seek(0, 7)
+
+    def test_readinto(self, client, blob):
+        client.write(blob, pages(1, b"q"), 0)
+        f = open_blob(client, blob)
+        buf = bytearray(6)
+        assert f.readinto(buf) == 6
+        assert bytes(buf) == b"qqqqqq"
+
+    def test_pinned_snapshot_semantics(self, client, blob):
+        client.write(blob, pages(1, b"1"), 0)
+        f = open_blob(client, blob)  # pins v1
+        client.write(blob, pages(1, b"2"), 0)
+        assert f.read(4) == b"1111"  # still v1
+        assert f.version == 1
+
+    def test_explicit_version_pin(self, client, blob):
+        client.write(blob, pages(1, b"1"), 0)
+        client.write(blob, pages(1, b"2"), 0)
+        f = open_blob(client, blob, version=1)
+        assert f.read(2) == b"11"
+
+    def test_read_only_rejects_write(self, client, blob):
+        f = open_blob(client, blob)
+        with pytest.raises(ReproError):
+            f.write(b"nope")
+
+    def test_size(self, client, blob):
+        assert open_blob(client, blob).size == SMALL_TOTAL
+
+
+class TestWriteSide:
+    def test_aligned_flush_single_version(self, client, blob):
+        with open_blob(client, blob, mode="w") as f:
+            f.write(pages(2, b"w"))
+            version = f.flush()
+        assert version == 1
+        assert client.read_bytes(blob, 0, 4) == b"wwww"
+
+    def test_sequential_writes_coalesce(self, client, blob):
+        with open_blob(client, blob, mode="w") as f:
+            for _ in range(4):
+                f.write(pages(1, b"c"))
+            assert f.flush() == 1  # one coalesced WRITE, one version
+        assert client.latest(blob) == 1
+        assert client.read_bytes(blob, 0, 4 * SMALL_PAGE) == pages(4, b"c")
+
+    def test_unaligned_flush_uses_rmw(self, client, blob):
+        client.write(blob, pages(1, b"base"), 0)
+        with open_blob(client, blob, mode="w") as f:
+            f.seek(5)
+            f.write(b"HELLO")
+            f.flush()
+        base = pages(1, b"base")
+        expected = base[:5] + b"HELLO" + base[10:14]
+        assert client.read_bytes(blob, 0, 14) == expected
+
+    def test_close_flushes(self, client, blob):
+        f = open_blob(client, blob, mode="w")
+        f.write(pages(1, b"f"))
+        f.close()
+        assert client.read_bytes(blob, 0, 2) == b"ff"
+        assert f.closed
+
+    def test_sparse_writes_multiple_runs(self, client, blob):
+        with open_blob(client, blob, mode="w") as f:
+            f.write(pages(1, b"a"))
+            f.seek(8 * SMALL_PAGE)
+            f.write(pages(1, b"b"))
+            f.flush()
+        assert client.read_bytes(blob, 0, 2) == b"aa"
+        assert client.read_bytes(blob, 8 * SMALL_PAGE, 2) == b"bb"
+        assert client.read_bytes(blob, 4 * SMALL_PAGE, 2) == bytes(2)
+
+    def test_overlapping_buffered_writes_last_wins(self, client, blob):
+        with open_blob(client, blob, mode="w") as f:
+            f.write(pages(1, b"x"))
+            f.seek(0)
+            f.write(b"YY")
+            f.flush()
+        assert client.read_bytes(blob, 0, 4) == b"YY" + b"xx"
+
+    def test_write_past_end_rejected(self, client, blob):
+        f = open_blob(client, blob, mode="w")
+        f.seek(SMALL_TOTAL - 1)
+        with pytest.raises(ReproError):
+            f.write(b"ab")
+
+    def test_read_with_pending_writes_rejected(self, client, blob):
+        f = open_blob(client, blob, mode="w")
+        f.write(b"x")
+        with pytest.raises(ReproError):
+            f.read(1)
+
+    def test_flush_empty_returns_none(self, client, blob):
+        assert open_blob(client, blob, mode="w").flush() is None
+
+    def test_closed_file_rejects_io(self, client, blob):
+        f = open_blob(client, blob)
+        f.close()
+        with pytest.raises(ReproError):
+            f.read(1)
+
+    def test_mode_validation(self, client, blob):
+        with pytest.raises(ValueError):
+            BlobFile(client, blob, mode="a")
+        with pytest.raises(ValueError):
+            BlobFile(client, blob, mode="w", version=3)
+
+    def test_repr(self, client, blob):
+        assert "mode=r" in repr(open_blob(client, blob))

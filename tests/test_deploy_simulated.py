@@ -1,0 +1,165 @@
+"""Simulated deployment: topology, timing sanity, concurrency behaviour."""
+
+import pytest
+
+from repro.core.config import DeploymentSpec
+from repro.deploy.simulated import SimDeployment
+from repro.errors import VersionNotPublished
+from repro.sim.network import ClusterSpec
+from repro.util.sizes import KB, MB, TB
+
+PAGE = 64 * KB
+
+
+def make(n=4, clients=2, cache=0, cluster=None):
+    return SimDeployment(
+        DeploymentSpec(n_data=n, n_meta=n, n_clients=clients, cache_capacity=cache),
+        cluster=cluster,
+    )
+
+
+class TestTopology:
+    def test_colocated_layout(self):
+        dep = make(n=3)
+        names = set(dep.network.nodes)
+        assert {"vm-node", "pm-node", "prov-0", "prov-1", "prov-2"} <= names
+        assert {"client-0", "client-1"} <= names
+        # data provider i and metadata provider i share a node
+        assert dep.executor.node_of(("data", 1)) is dep.executor.node_of(("meta", 1))
+
+    def test_separate_layout(self):
+        dep = SimDeployment(
+            DeploymentSpec(n_data=2, n_meta=3, n_clients=1, colocate=False)
+        )
+        assert dep.executor.node_of(("data", 0)) is not dep.executor.node_of(("meta", 0))
+
+    def test_client_nodes_have_client_role(self):
+        dep = make()
+        assert all(n.role == "client" for n in dep.client_nodes)
+        assert dep.executor.node_of("vm").role == "server"
+
+
+class TestFunctional:
+    def test_write_read_roundtrip_virtual(self):
+        dep = make()
+        blob = dep.alloc_blob(1 * TB, PAGE)
+        client = dep.client(0)
+        wres = client.write_virtual(blob, 0, 8 * PAGE)
+        assert wres.version == 1 and wres.published
+        rres = client.read_virtual(blob, 0, 8 * PAGE)
+        assert rres.version == 1
+        assert rres.pages_fetched == 8
+        assert rres.data is None  # virtual read skips assembly
+
+    def test_unpublished_read_fails_in_sim(self):
+        dep = make()
+        blob = dep.alloc_blob(1 * TB, PAGE)
+        client = dep.client(0)
+        with pytest.raises(VersionNotPublished):
+            client.read_virtual(blob, 0, PAGE, version=3)
+
+    def test_warm_cache_helper(self):
+        dep = make()
+        blob = dep.alloc_blob(1 * TB, PAGE)
+        writer = dep.client(0)
+        writer.write_virtual(blob, 0, 4 * PAGE)
+        reader = dep.client(1, cached=True)
+        cached = dep.warm_client_cache(reader, blob)
+        assert cached > 0
+        res = reader.read_virtual(blob, 0, 4 * PAGE)
+        assert res.nodes_fetched == 0
+        assert res.cache_hits > 0
+
+    def test_warm_cache_requires_cache(self):
+        dep = make()
+        blob = dep.alloc_blob(1 * TB, PAGE)
+        client = dep.client(0, cached=False)
+        with pytest.raises(ValueError):
+            dep.warm_client_cache(client, blob)
+
+
+class TestTimingSanity:
+    def test_durations_positive_and_ordered(self):
+        dep = make()
+        blob = dep.alloc_blob(1 * TB, PAGE)
+        client = dep.client(0)
+        _, small = client.timed(client.write_virtual_proto(blob, 0, PAGE))
+        _, large = client.timed(
+            client.write_virtual_proto(blob, 1 * MB, 64 * PAGE)
+        )
+        assert 0 < small < large
+
+    def test_cached_read_faster_than_uncached(self):
+        dep = make()
+        blob = dep.alloc_blob(1 * TB, PAGE)
+        writer = dep.client(0)
+        writer.write_virtual(blob, 0, 32 * PAGE)
+        reader = dep.client(1, cached=True)
+        _, cold = reader.timed(reader.read_virtual_proto(blob, 0, 32 * PAGE))
+        _, warm = reader.timed(reader.read_virtual_proto(blob, 0, 32 * PAGE))
+        assert warm < cold
+
+    def test_trace_marks_monotone(self):
+        dep = make()
+        blob = dep.alloc_blob(1 * TB, PAGE)
+        client = dep.client(0)
+        wtrace: dict[str, float] = {}
+        client.run(client.write_virtual_proto(blob, 0, 4 * PAGE, trace=wtrace))
+        order = [
+            "start", "providers_allocated", "pages_stored",
+            "version_assigned", "metadata_stored", "done",
+        ]
+        values = [wtrace[k] for k in order]
+        assert values == sorted(values)
+        rtrace: dict[str, float] = {}
+        client.run(client.read_virtual_proto(blob, 0, 4 * PAGE, trace=rtrace))
+        rorder = ["start", "version_resolved", "metadata_read", "pages_read", "done"]
+        rvalues = [rtrace[k] for k in rorder]
+        assert rvalues == sorted(rvalues)
+
+    def test_latency_scaling(self):
+        """10x link latency must slow a small read (RTT-dominated)."""
+        def read_time(latency):
+            dep = make(cluster=ClusterSpec(latency=latency))
+            blob = dep.alloc_blob(1 * TB, PAGE)
+            client = dep.client(0)
+            client.write_virtual(blob, 0, PAGE)
+            _, dur = client.timed(client.read_virtual_proto(blob, 0, PAGE))
+            return dur
+
+        assert read_time(1e-3) > read_time(0.1e-3) * 2
+
+    def test_concurrent_clients_slower_than_single(self):
+        """Two clients hammering the same providers see some contention."""
+        def mean_duration(n_clients):
+            dep = make(n=2, clients=n_clients)
+            blob = dep.alloc_blob(1 * TB, PAGE)
+            writer = dep.client(0)
+            writer.write_virtual(blob, 0, 64 * PAGE)
+            durations = []
+
+            def loop(client):
+                for _ in range(5):
+                    start = dep.sim.now
+                    proto = client.read_virtual_proto(blob, 0, 64 * PAGE)
+                    yield from dep.executor.run_protocol(proto, client.node)
+                    durations.append(dep.sim.now - start)
+
+            procs = [
+                dep.sim.process(loop(dep.client(i))) for i in range(n_clients)
+            ]
+            dep.sim.run(until=dep.sim.all_of(procs))
+            return sum(durations) / len(durations)
+
+        assert mean_duration(4) > mean_duration(1)
+
+    def test_deterministic_timing(self):
+        def once():
+            dep = make()
+            blob = dep.alloc_blob(1 * TB, PAGE)
+            client = dep.client(0)
+            client.write_virtual(blob, 0, 16 * PAGE)
+            _, dur = client.timed(client.read_virtual_proto(blob, 0, 16 * PAGE))
+            return dur
+
+        assert once() == once()

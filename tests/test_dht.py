@@ -1,0 +1,265 @@
+"""Chord DHT substrate: hashing, routing, churn, replication."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.adapter import DhtMetadataService, SingleServiceRouter
+from repro.dht.chord import ChordNode
+from repro.dht.hashing import RING_SIZE, in_interval, key_id, node_id
+from repro.dht.ring import ChordRing
+from repro.errors import NodeMissing
+
+
+class TestHashing:
+    def test_ids_in_range(self):
+        assert 0 <= key_id(("blob", 1)) < RING_SIZE
+        assert 0 <= node_id("n1") < RING_SIZE
+
+    def test_determinism(self):
+        assert key_id(("a", 1)) == key_id(("a", 1))
+        assert node_id("x") == node_id("x")
+
+    def test_distinct_names_distinct_ids(self):
+        ids = {node_id(f"node-{i}") for i in range(64)}
+        assert len(ids) == 64
+
+    def test_in_interval_simple(self):
+        assert in_interval(5, 1, 10)
+        assert in_interval(10, 1, 10)  # right-inclusive
+        assert not in_interval(1, 1, 10)  # left-exclusive
+        assert not in_interval(11, 1, 10)
+
+    def test_in_interval_wrapped(self):
+        top = RING_SIZE - 1
+        assert in_interval(0, top, 5)
+        assert in_interval(5, top, 5)
+        assert not in_interval(top, top, 5)
+        assert in_interval(top, 5, top)
+
+    def test_in_interval_full_ring(self):
+        assert in_interval(7, 3, 3)  # a == b denotes the full ring
+        assert not in_interval(3, 3, 3, inclusive_right=False)
+
+    @given(
+        st.integers(min_value=0, max_value=RING_SIZE - 1),
+        st.integers(min_value=0, max_value=RING_SIZE - 1),
+        st.integers(min_value=0, max_value=RING_SIZE - 1),
+    )
+    def test_exclusive_matches_partition(self, x, a, b):
+        """x in (a,b] xor x in (b,a] for x != a, b (circular partition)."""
+        if x in (a, b) or a == b:
+            return
+        assert in_interval(x, a, b) != in_interval(x, b, a)
+
+
+class TestRingBasics:
+    def test_single_node_owns_everything(self):
+        ring = ChordRing(["only"])
+        ring.put("k", 1)
+        assert ring.get("k") == 1
+        node = ring.nodes["only"]
+        assert node.owns(key_id("k"))
+
+    def test_put_get_many(self):
+        ring = ChordRing([f"n{i}" for i in range(8)])
+        for i in range(100):
+            ring.put(("key", i), i)
+        for i in range(100):
+            assert ring.get(("key", i)) == i
+
+    def test_missing_key(self):
+        ring = ChordRing(["a", "b"])
+        with pytest.raises(NodeMissing):
+            ring.get("ghost")
+
+    def test_delete(self):
+        ring = ChordRing(["a", "b"], replication=2)
+        ring.put("k", 1)
+        assert ring.delete("k") == 2
+        with pytest.raises(NodeMissing):
+            ring.get("k")
+
+    def test_owner_is_successor_of_key(self):
+        ring = ChordRing([f"n{i}" for i in range(12)])
+        live = sorted(ring.nodes.values(), key=lambda n: n.id)
+        for i in range(50):
+            kid = key_id(("probe", i))
+            owner = ring.owner_of(("probe", i))
+            expected = next((n for n in live if n.id >= kid), live[0])
+            assert owner is expected
+
+    def test_lookup_hops_logarithmic(self):
+        ring = ChordRing([f"n{i}" for i in range(32)])
+        for i in range(200):
+            ring.owner_of(("k", i))
+        # log2(32) = 5; generous bound on the mean
+        assert ring.mean_lookup_hops <= 6.0
+
+    def test_load_roughly_balanced(self):
+        ring = ChordRing([f"n{i}" for i in range(8)])
+        for i in range(800):
+            ring.put(("k", i), i)
+        loads = ring.load_distribution()
+        assert sum(loads.values()) == 800
+        assert max(loads.values()) < 800 * 0.5  # no node hoards half
+
+
+class TestChurn:
+    def test_join_preserves_data(self):
+        ring = ChordRing([f"n{i}" for i in range(4)])
+        for i in range(120):
+            ring.put(("k", i), i * 7)
+        ring.add_node("newcomer")
+        for i in range(120):
+            assert ring.get(("k", i)) == i * 7
+
+    def test_join_moves_only_owed_keys(self):
+        ring = ChordRing([f"n{i}" for i in range(4)])
+        for i in range(120):
+            ring.put(("k", i), i)
+        node = ring.add_node("newcomer")
+        # everything the newcomer holds must be keys it now owns
+        for key in node.store:
+            assert node.owns(key_id(key))
+
+    def test_graceful_leave_preserves_data(self):
+        ring = ChordRing([f"n{i}" for i in range(5)])
+        for i in range(100):
+            ring.put(("k", i), i)
+        ring.remove_node("n2", graceful=True)
+        for i in range(100):
+            assert ring.get(("k", i)) == i
+
+    def test_crash_without_replication_loses_data(self):
+        ring = ChordRing([f"n{i}" for i in range(5)], replication=1)
+        for i in range(100):
+            ring.put(("k", i), i)
+        victim = max(ring.load_distribution().items(), key=lambda kv: kv[1])[0]
+        ring.remove_node(victim, graceful=False)
+        lost = 0
+        for i in range(100):
+            try:
+                ring.get(("k", i))
+            except NodeMissing:
+                lost += 1
+        assert lost > 0  # honesty check: r=1 is not fault tolerant
+
+    def test_crash_with_replication_keeps_data(self):
+        ring = ChordRing([f"n{i}" for i in range(6)], replication=3)
+        for i in range(100):
+            ring.put(("k", i), i)
+        victim = max(ring.load_distribution().items(), key=lambda kv: kv[1])[0]
+        ring.remove_node(victim, graceful=False)
+        for i in range(100):
+            assert ring.get(("k", i)) == i
+
+    def test_sequential_churn_storm(self):
+        ring = ChordRing([f"n{i}" for i in range(4)], replication=2)
+        for i in range(60):
+            ring.put(("k", i), i)
+        for step in range(4):
+            ring.add_node(f"extra-{step}")
+            ring.remove_node(f"n{step}", graceful=True)
+            for i in range(60):
+                assert ring.get(("k", i)) == i
+
+    def test_ring_consistency_after_churn(self):
+        ring = ChordRing([f"n{i}" for i in range(6)])
+        ring.add_node("x")
+        ring.remove_node("n0")
+        assert ring._consistent()
+        live = sorted(
+            (n for n in ring.nodes.values() if n.alive), key=lambda n: n.id
+        )
+        for i, node in enumerate(live):
+            assert node.successor is live[(i + 1) % len(live)]
+
+
+class TestReplicationInvariant:
+    def test_every_key_on_exactly_k_nodes(self):
+        k = 3
+        ring = ChordRing([f"n{i}" for i in range(8)], replication=k)
+        for i in range(100):
+            ring.put(("k", i), i)
+        for i in range(100):
+            holders = [
+                n for n in ring.nodes.values() if ("k", i) in n.store and n.alive
+            ]
+            assert len(holders) == k
+            # holders are owner + ring successors
+            owner = ring.owner_of(("k", i))
+            expected = list(owner.replica_targets(k))
+            assert set(holders) == set(expected)
+
+    def test_rereplication_after_join(self):
+        k = 2
+        ring = ChordRing([f"n{i}" for i in range(5)], replication=k)
+        for i in range(80):
+            ring.put(("k", i), i)
+        ring.add_node("late")
+        for i in range(80):
+            holders = [
+                n for n in ring.nodes.values() if ("k", i) in n.store and n.alive
+            ]
+            assert len(holders) == k
+
+
+class TestChordNodeEdgeCases:
+    def test_isolated_node_self_loops(self):
+        n = ChordNode("solo")
+        assert n.successor is n
+        assert n.owns(12345)
+
+    def test_find_successor_on_single_node(self):
+        n = ChordNode("solo")
+        owner, hops = n.find_successor(key_id("k"))
+        assert owner is n
+        assert hops == 0
+
+
+class TestDhtMetadataAdapter:
+    def make(self):
+        from repro.metadata.node import NodeKey, TreeNode
+
+        ring = ChordRing([f"m{i}" for i in range(6)], replication=2)
+        svc = DhtMetadataService(ring)
+        node = TreeNode(
+            key=NodeKey("b", 1, 0, 4096), providers=(0,), write_uid="w"
+        )
+        return svc, node
+
+    def test_put_get(self):
+        svc, node = self.make()
+        assert svc.put_node(node) is True
+        assert svc.get_node(node.key) == node
+
+    def test_idempotent_put(self):
+        svc, node = self.make()
+        svc.put_node(node)
+        assert svc.put_node(node) is True
+
+    def test_conflicting_put_rejected(self):
+        from repro.errors import ImmutabilityViolation
+        from repro.metadata.node import TreeNode
+
+        svc, node = self.make()
+        svc.put_node(node)
+        other = TreeNode(key=node.key, providers=(9,), write_uid="zz")
+        with pytest.raises(ImmutabilityViolation):
+            svc.put_node(other)
+
+    def test_free_and_list(self):
+        svc, node = self.make()
+        svc.put_node(node)
+        assert svc.list_nodes("b") == [node.key]
+        assert svc.free_nodes([node.key]) == 1
+        assert svc.list_nodes("b") == []
+
+    def test_single_service_router(self):
+        from repro.metadata.node import NodeKey
+
+        r = SingleServiceRouter(("meta", 0))
+        key = NodeKey("b", 1, 0, 4096)
+        assert r.route(key) == (("meta", 0),)
+        assert r.primary(key) == ("meta", 0)

@@ -1,0 +1,50 @@
+"""Keep documentation honest: README snippets and examples must run."""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_executes(self):
+        """Extract and run the first python code block of README.md."""
+        readme = (ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.DOTALL)
+        assert blocks, "README lost its quickstart code block"
+        exec(compile(blocks[0], "<README quickstart>", "exec"), {})
+
+
+EXAMPLES = [
+    "quickstart.py",
+    "incremental_analytics.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_scripts_run(script):
+    """Fast examples run end-to-end in a subprocess (slow ones are covered
+    by their own dedicated tests and by the bench suite)."""
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "examples" / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_examples_exist_and_documented():
+    listed = {"quickstart.py", "supernovae_detection.py",
+              "concurrent_telescopes.py", "incremental_analytics.py",
+              "cluster_experiment.py"}
+    present = {p.name for p in (ROOT / "examples").glob("*.py")}
+    assert listed <= present
+    readme = (ROOT / "README.md").read_text()
+    for name in listed:
+        assert name in readme, f"{name} missing from README examples table"

@@ -1,0 +1,165 @@
+"""Metadata provider store, router dispersal, and the client cache."""
+
+import pytest
+
+from repro.errors import ImmutabilityViolation, NodeMissing, ProviderUnavailable
+from repro.metadata.cache import MetadataCache
+from repro.metadata.node import NodeKey, TreeNode
+from repro.metadata.provider import MetadataProvider
+from repro.metadata.router import StaticRouter
+
+
+def node(version=1, offset=0, size=4096, blob="b"):
+    return TreeNode(
+        key=NodeKey(blob, version, offset, size), providers=(0,), write_uid="w"
+    )
+
+
+class TestMetadataProvider:
+    def test_put_get_roundtrip(self):
+        mp = MetadataProvider(0)
+        n = node()
+        mp.put_node(n)
+        assert mp.get_node(n.key) == n
+        assert mp.node_count == 1
+
+    def test_missing_node(self):
+        with pytest.raises(NodeMissing):
+            MetadataProvider(0).get_node(NodeKey("b", 1, 0, 4096))
+
+    def test_write_once_idempotent_identical(self):
+        mp = MetadataProvider(0)
+        n = node()
+        mp.put_node(n)
+        assert mp.put_node(n) is True  # replica retry is fine
+        assert mp.puts == 1
+
+    def test_write_once_conflict_rejected(self):
+        mp = MetadataProvider(0)
+        mp.put_node(node())
+        conflicting = TreeNode(
+            key=NodeKey("b", 1, 0, 4096), providers=(9,), write_uid="other"
+        )
+        with pytest.raises(ImmutabilityViolation):
+            mp.put_node(conflicting)
+
+    def test_free_and_list(self):
+        mp = MetadataProvider(0)
+        n1, n2 = node(version=1), node(version=2)
+        mp.put_node(n1)
+        mp.put_node(n2)
+        mp.put_node(node(blob="other"))
+        assert set(mp.list_nodes("b")) == {n1.key, n2.key}
+        assert mp.free_nodes([n1.key, NodeKey("b", 99, 0, 4096)]) == 1
+        assert mp.node_count == 2
+
+    def test_failure_injection(self):
+        mp = MetadataProvider(0)
+        mp.crash()
+        with pytest.raises(ProviderUnavailable):
+            mp.get_node(NodeKey("b", 1, 0, 4096))
+        with pytest.raises(ProviderUnavailable):
+            mp.put_node(node())
+        mp.recover()
+        mp.put_node(node())
+
+    def test_rpc_dispatch(self):
+        mp = MetadataProvider(0)
+        n = node()
+        assert mp.handle("meta.put_node", (n,)) is True
+        assert mp.handle("meta.get_node", (n.key,)) == n
+        assert mp.handle("meta.stats", ())["nodes"] == 1
+        with pytest.raises(ValueError):
+            mp.handle("meta.nope", ())
+
+
+class TestStaticRouter:
+    def test_deterministic(self):
+        r = StaticRouter([0, 1, 2, 3])
+        k = NodeKey("b", 1, 0, 4096)
+        assert r.primary(k) == r.primary(k)
+        assert r.route(k) == r.route(k)
+
+    def test_replicas_distinct_successors(self):
+        r = StaticRouter([0, 1, 2, 3], replication=3)
+        owners = r.route(NodeKey("b", 1, 0, 4096))
+        assert len(set(owners)) == 3
+        ids = [o[1] for o in owners]
+        # successors on the id ring
+        start = ids[0]
+        assert ids == [(start + i) % 4 for i in range(3)]
+
+    def test_dispersal_is_roughly_uniform(self):
+        r = StaticRouter(list(range(8)))
+        counts = {i: 0 for i in range(8)}
+        for v in range(2000):
+            addr = r.primary(NodeKey("b", v, v * 4096, 4096))
+            counts[addr[1]] += 1
+        # each provider within 2x of fair share
+        for c in counts.values():
+            assert 100 < c < 500
+
+    def test_version_changes_placement(self):
+        r = StaticRouter(list(range(16)))
+        placements = {
+            r.primary(NodeKey("b", v, 0, 4096)) for v in range(40)
+        }
+        assert len(placements) > 5  # different versions spread out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticRouter([])
+        with pytest.raises(ValueError):
+            StaticRouter([0], replication=2)
+        with pytest.raises(ValueError):
+            StaticRouter([0, 1], replication=0)
+
+
+class TestMetadataCache:
+    def test_put_get(self):
+        cache = MetadataCache(capacity=4)
+        n = node()
+        cache.put(n)
+        assert cache.get(n.key) == n
+        assert n.key in cache
+        assert len(cache) == 1
+
+    def test_miss(self):
+        cache = MetadataCache(4)
+        assert cache.get(NodeKey("b", 1, 0, 4096)) is None
+        assert cache.misses == 1
+
+    def test_eviction_at_capacity(self):
+        cache = MetadataCache(2)
+        nodes = [node(version=v) for v in range(3)]
+        for n in nodes:
+            cache.put(n)
+        assert len(cache) == 2
+        assert cache.get(nodes[0].key) is None
+
+    def test_stats(self):
+        cache = MetadataCache(4)
+        n = node()
+        cache.put(n)
+        cache.get(n.key)
+        cache.get(NodeKey("x", 1, 0, 4096))
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_ratio == 0.5
+
+    def test_clear(self):
+        cache = MetadataCache(4)
+        cache.put(node())
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_versioned_keys_never_alias(self):
+        """The coherence-for-free property: distinct versions, distinct keys."""
+        cache = MetadataCache(16)
+        v1 = node(version=1)
+        v2 = TreeNode(
+            key=NodeKey("b", 2, 0, 4096), providers=(5,), write_uid="w2"
+        )
+        cache.put(v1)
+        cache.put(v2)
+        assert cache.get(v1.key).providers == (0,)
+        assert cache.get(v2.key).providers == (5,)

@@ -1,0 +1,141 @@
+"""Segment-tree geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, OutOfBounds
+from repro.metadata.tree import TreeGeometry
+from repro.util.intervals import Interval
+from repro.util.sizes import KB, MB, TB
+
+GEOM = TreeGeometry(1 * MB, 4 * KB)  # depth 8, 256 pages
+
+
+class TestConstruction:
+    def test_depth_and_page_count(self):
+        assert GEOM.depth == 8
+        assert GEOM.page_count == 256
+        assert GEOM.root == Interval(0, 1 * MB)
+
+    def test_paper_geometry(self):
+        g = TreeGeometry(1 * TB, 64 * KB)
+        assert g.depth == 24
+        assert g.page_count == 1 << 24
+
+    def test_single_page_blob(self):
+        g = TreeGeometry(4 * KB, 4 * KB)
+        assert g.depth == 0
+        assert g.is_leaf(g.root)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigError):
+            TreeGeometry(3 * MB, 4 * KB)
+        with pytest.raises(ConfigError):
+            TreeGeometry(1 * MB, 3000)
+
+    def test_rejects_page_bigger_than_blob(self):
+        with pytest.raises(ConfigError):
+            TreeGeometry(4 * KB, 8 * KB)
+
+
+class TestBoundsChecks:
+    def test_check_bounds_accepts_interior(self):
+        assert GEOM.check_bounds(100, 200) == Interval(100, 200)
+
+    def test_check_bounds_rejects(self):
+        with pytest.raises(OutOfBounds):
+            GEOM.check_bounds(-1, 10)
+        with pytest.raises(OutOfBounds):
+            GEOM.check_bounds(0, 0)
+        with pytest.raises(OutOfBounds):
+            GEOM.check_bounds(1 * MB - 10, 20)
+
+    def test_check_aligned(self):
+        assert GEOM.check_aligned(4 * KB, 8 * KB) == Interval(4 * KB, 8 * KB)
+        with pytest.raises(OutOfBounds):
+            GEOM.check_aligned(100, 4 * KB)
+        with pytest.raises(OutOfBounds):
+            GEOM.check_aligned(0, 100)
+
+
+class TestRelations:
+    def test_children(self):
+        left, right = GEOM.children(GEOM.root)
+        assert left == Interval(0, 512 * KB)
+        assert right == Interval(512 * KB, 512 * KB)
+
+    def test_leaf_has_no_children(self):
+        with pytest.raises(ValueError):
+            GEOM.children(Interval(0, 4 * KB))
+
+    def test_parent(self):
+        assert GEOM.parent(Interval(0, 4 * KB)) == Interval(0, 8 * KB)
+        assert GEOM.parent(Interval(12 * KB, 4 * KB)) == Interval(8 * KB, 8 * KB)
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            GEOM.parent(GEOM.root)
+
+    def test_page_index_roundtrip(self):
+        for idx in (0, 1, 255):
+            assert GEOM.page_index(GEOM.leaf_interval(idx)) == idx
+
+    def test_page_index_bounds(self):
+        with pytest.raises(OutOfBounds):
+            GEOM.leaf_interval(256)
+        with pytest.raises(ValueError):
+            GEOM.page_index(Interval(0, 8 * KB))
+
+    def test_depth_of(self):
+        assert GEOM.depth_of(GEOM.root) == 0
+        assert GEOM.depth_of(Interval(0, 4 * KB)) == 8
+
+
+class TestDecomposition:
+    def test_leaves_for_single_byte(self):
+        assert list(GEOM.leaves_for(Interval(5, 1))) == [Interval(0, 4 * KB)]
+
+    def test_leaves_for_straddling(self):
+        got = list(GEOM.leaves_for(Interval(4 * KB - 1, 2)))
+        assert got == [Interval(0, 4 * KB), Interval(4 * KB, 4 * KB)]
+
+    def test_level_intervals_root(self):
+        assert list(GEOM.level_intervals(0, Interval(0, 1))) == [GEOM.root]
+
+    def test_visit_intervals_small_request(self):
+        visits = list(GEOM.visit_intervals(Interval(0, 4 * KB)))
+        # exactly one node per level for a single-page read at offset 0
+        assert len(visits) == GEOM.depth + 1
+        assert visits[0] == GEOM.root
+        assert visits[-1] == Interval(0, 4 * KB)
+
+    def test_count_matches_enumeration(self):
+        for iv in (
+            Interval(0, 4 * KB),
+            Interval(8 * KB, 64 * KB),
+            Interval(4 * KB, 12 * KB),
+            Interval(0, 1 * MB),
+        ):
+            assert GEOM.count_visit_nodes(iv) == len(list(GEOM.visit_intervals(iv)))
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=1, max_value=256),
+    )
+    def test_visit_intervals_properties(self, first, npages):
+        npages = min(npages, 256 - first)
+        if npages == 0:
+            return
+        req = Interval(first * 4 * KB, npages * 4 * KB)
+        visits = list(GEOM.visit_intervals(req))
+        # every visited interval intersects the request
+        assert all(iv.intersects(req) for iv in visits)
+        # the visited leaves are exactly the request's pages
+        leaves = [iv for iv in visits if GEOM.is_leaf(iv)]
+        assert leaves == list(GEOM.leaves_for(req))
+        # parents of every non-root visit are also visited
+        visit_set = set(visits)
+        for iv in visits:
+            if iv != GEOM.root:
+                assert GEOM.parent(iv) in visit_set

@@ -1,0 +1,269 @@
+"""Driver equivalence and driver-specific behaviour.
+
+The three drivers must be observationally equivalent for any protocol; the
+threaded driver must additionally survive concurrent callers, and the sim
+driver must charge simulated time.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import RemoteError
+from repro.net.inproc import InprocDriver
+from repro.net.sansio import Batch, Call, Compute
+from repro.net.simdriver import SimRpcExecutor
+from repro.net.threaded import ThreadedDriver
+from repro.sim.engine import Simulator
+from repro.sim.network import ClusterSpec, Network
+
+
+class Counter:
+    """Actor with state, to observe aggregation and ordering."""
+
+    def __init__(self):
+        self.value = 0
+        self.calls = 0
+
+    def handle(self, method, args):
+        self.calls += 1
+        if method == "add":
+            self.value += args[0]
+            return self.value
+        if method == "get":
+            return self.value
+        if method == "fail":
+            raise RuntimeError("nope")
+        raise ValueError(method)
+
+
+def summing_protocol():
+    total = 0
+    results = yield Batch([Call(("c", i % 2), "add", (i,)) for i in range(6)])
+    total += sum(results)
+    yield Compute("client.touch_page", 1)
+    (a,) = yield Batch([Call(("c", 0), "get")])
+    (b,) = yield Batch([Call(("c", 1), "get")])
+    return total, a, b
+
+
+def expected_result():
+    # c0 gets 0,2,4 cumulative 0,2,6; c1 gets 1,3,5 cumulative 1,4,9
+    return (0 + 2 + 6 + 1 + 4 + 9, 6, 9)
+
+
+class TestEquivalence:
+    def run_inproc(self):
+        driver = InprocDriver({("c", 0): Counter(), ("c", 1): Counter()})
+        return driver.run(summing_protocol())
+
+    def run_threaded(self):
+        with ThreadedDriver({("c", 0): Counter(), ("c", 1): Counter()}) as driver:
+            return driver.run(summing_protocol())
+
+    def run_sim(self):
+        sim = Simulator()
+        net = Network(sim, ClusterSpec())
+        ex = SimRpcExecutor(sim, net)
+        client = net.add_node("client", role="client")
+        ex.register(("c", 0), Counter(), net.add_node("s0"))
+        ex.register(("c", 1), Counter(), net.add_node("s1"))
+        proc = sim.process(ex.run_protocol(summing_protocol(), client))
+        return sim.run(until=proc)
+
+    def test_all_drivers_agree(self):
+        expected = expected_result()
+        assert self.run_inproc() == expected
+        assert self.run_threaded() == expected
+        assert tuple(self.run_sim()) == expected
+
+
+class TestThreadedDriver:
+    def test_aggregation_one_rpc_per_destination(self):
+        c0, c1 = Counter(), Counter()
+        with ThreadedDriver({("c", 0): c0, ("c", 1): c1}) as driver:
+
+            def proto():
+                yield Batch([Call(("c", i % 2), "add", (1,)) for i in range(8)])
+                return True
+
+            driver.run(proto())
+            stats = driver.server_stats()
+            # 8 sub-calls but only 1 wire RPC per destination
+            assert stats[("c", 0)] == (1, 4)
+            assert stats[("c", 1)] == (1, 4)
+
+    def test_concurrent_callers(self):
+        counter = Counter()
+        with ThreadedDriver({"c": counter}) as driver:
+
+            def proto():
+                yield Batch([Call("c", "add", (1,))])
+                return True
+
+            threads = [
+                threading.Thread(target=lambda: driver.run(proto()))
+                for _ in range(16)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert counter.value == 16
+
+    def test_spawn_future(self):
+        with ThreadedDriver({"c": Counter()}) as driver:
+
+            def proto():
+                (v,) = yield Batch([Call("c", "add", (5,))])
+                return v
+
+            fut = driver.spawn(proto())
+            assert fut.result(timeout=10) == 5
+            assert fut.done()
+
+    def test_future_carries_exception(self):
+        with ThreadedDriver({"c": Counter()}) as driver:
+
+            def proto():
+                yield Batch([Call("c", "fail")])
+
+            fut = driver.spawn(proto())
+            with pytest.raises(RemoteError):
+                fut.result(timeout=10)
+
+    def test_register_after_start(self):
+        with ThreadedDriver() as driver:
+            driver.register("late", Counter())
+
+            def proto():
+                (v,) = yield Batch([Call("late", "add", (2,))])
+                return v
+
+            assert driver.run(proto()) == 2
+
+    def test_duplicate_registration_rejected(self):
+        with ThreadedDriver({"c": Counter()}) as driver:
+            with pytest.raises(ValueError):
+                driver.register("c", Counter())
+
+    def test_unknown_destination(self):
+        with ThreadedDriver() as driver:
+
+            def proto():
+                yield Batch([Call("ghost", "x")])
+
+            with pytest.raises(KeyError):
+                driver.run(proto())
+
+    def test_close_idempotent(self):
+        driver = ThreadedDriver({"c": Counter()})
+        driver.close()
+        driver.close()
+
+
+class TestSimDriver:
+    def make(self, spec=None):
+        sim = Simulator()
+        net = Network(sim, spec or ClusterSpec())
+        ex = SimRpcExecutor(sim, net)
+        client = net.add_node("client", role="client")
+        counter = Counter()
+        ex.register("c", counter, net.add_node("server"))
+        return sim, ex, client, counter
+
+    def run_proto(self, sim, ex, client, proto):
+        proc = sim.process(ex.run_protocol(proto, client))
+        return sim.run(until=proc)
+
+    def test_time_advances(self):
+        sim, ex, client, _ = self.make()
+
+        def proto():
+            yield Batch([Call("c", "add", (1,))])
+            return sim.now
+
+        end = self.run_proto(sim, ex, client, proto())
+        assert end > 2 * ClusterSpec().latency  # at least a round trip
+
+    def test_compute_charges_client_cpu(self):
+        sim, ex, client, _ = self.make()
+
+        def proto():
+            yield Compute("client.build_node", 1000)
+            return sim.now
+
+        end = self.run_proto(sim, ex, client, proto())
+        expected = ClusterSpec().compute_cost("client.build_node", 1000)
+        assert end == pytest.approx(expected, rel=0.01)
+
+    def test_aggregation_wire_rpc_accounting(self):
+        sim, ex, client, counter = self.make()
+
+        def proto():
+            yield Batch([Call("c", "add", (1,)) for _ in range(10)])
+            return True
+
+        self.run_proto(sim, ex, client, proto())
+        assert ex.wire_rpcs == 1
+        assert ex.sub_calls == 10
+        assert counter.calls == 10
+
+    def test_aggregation_disabled_one_rpc_each(self):
+        sim, ex, client, counter = self.make(ClusterSpec(aggregate=False))
+
+        def proto():
+            yield Batch([Call("c", "add", (1,)) for _ in range(10)])
+            return True
+
+        self.run_proto(sim, ex, client, proto())
+        assert ex.wire_rpcs == 10
+        assert counter.value == 10
+
+    def test_aggregation_is_faster(self):
+        def run(aggregate):
+            sim, ex, client, _ = self.make(ClusterSpec(aggregate=aggregate))
+
+            def proto():
+                yield Batch([Call("c", "add", (1,)) for _ in range(50)])
+                return sim.now
+
+            return self.run_proto(sim, ex, client, proto())
+
+        assert run(True) < run(False)
+
+    def test_handler_errors_surface(self):
+        sim, ex, client, _ = self.make()
+
+        def proto():
+            try:
+                yield Batch([Call("c", "fail")])
+            except RemoteError as exc:
+                return exc.error_type
+
+        assert self.run_proto(sim, ex, client, proto()) == "RuntimeError"
+
+    def test_duplicate_registration_rejected(self):
+        sim, ex, client, _ = self.make()
+        with pytest.raises(ValueError):
+            ex.register("c", Counter(), client)
+
+    def test_concurrent_protocols_serialize_on_server_cpu(self):
+        """Two clients' service time accumulates on the shared server."""
+        sim = Simulator()
+        spec = ClusterSpec()
+        net = Network(sim, spec)
+        ex = SimRpcExecutor(sim, net)
+        counter = Counter()
+        ex.register("c", counter, net.add_node("server"))
+        clients = [net.add_node(f"cl{i}", role="client") for i in range(4)]
+
+        def proto():
+            yield Batch([Call("c", "add", (1,)) for _ in range(100)])
+            return sim.now
+
+        procs = [sim.process(ex.run_protocol(proto(), c)) for c in clients]
+        sim.run(until=sim.all_of(procs))
+        service = 100 * spec.service_time("add") + spec.rpc_overhead
+        # 4 clients' service must stack on the single server CPU lane
+        assert sim.now >= 4 * service

@@ -1,0 +1,213 @@
+"""Data plane: pages, providers, manager, strategies."""
+
+import pytest
+
+from repro.errors import (
+    ImmutabilityViolation,
+    NotEnoughProviders,
+    PageMissing,
+    ProviderUnavailable,
+)
+from repro.net.message import estimate_size
+from repro.providers.data_provider import DataProvider
+from repro.providers.manager import ProviderManager
+from repro.providers.page import PageKey, PagePayload, page_key_for
+from repro.providers.strategies import LeastLoaded, RandomK, RoundRobin, make_strategy
+
+
+class TestPagePayload:
+    def test_real_payload(self):
+        p = PagePayload.real(b"abcd")
+        assert p.nbytes == 4
+        assert not p.is_virtual
+        assert p.as_bytes() == b"abcd"
+
+    def test_virtual_payload(self):
+        p = PagePayload.virtual(8)
+        assert p.is_virtual
+        assert p.as_bytes() == bytes(8)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PagePayload(nbytes=3, data=b"abcd")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            PagePayload.virtual(-1)
+
+    def test_wire_size_counts_payload(self):
+        assert estimate_size(PagePayload.virtual(4096)) == 48 + 4096
+        assert estimate_size(PagePayload.real(b"ab")) == 48 + 2
+
+    def test_page_key_validation(self):
+        assert page_key_for("b", "w", 3) == PageKey("b", "w", 3)
+        with pytest.raises(ValueError):
+            page_key_for("b", "w", -1)
+
+
+class TestDataProvider:
+    def key(self, i=0):
+        return PageKey("blob", "w1", i)
+
+    def test_put_get(self):
+        dp = DataProvider(0)
+        dp.put_page(self.key(), PagePayload.real(b"data"))
+        assert dp.get_page(self.key()).as_bytes() == b"data"
+        assert dp.bytes_stored == 4
+        assert dp.page_count == 1
+
+    def test_write_once(self):
+        dp = DataProvider(0)
+        dp.put_page(self.key(), PagePayload.virtual(8))
+        with pytest.raises(ImmutabilityViolation):
+            dp.put_page(self.key(), PagePayload.virtual(8))
+
+    def test_missing_page(self):
+        with pytest.raises(PageMissing):
+            DataProvider(0).get_page(self.key())
+
+    def test_free_pages_updates_accounting(self):
+        dp = DataProvider(0)
+        for i in range(3):
+            dp.put_page(self.key(i), PagePayload.virtual(100))
+        freed = dp.free_pages([self.key(0), self.key(1), self.key(99)])
+        assert freed == 2
+        assert dp.page_count == 1
+        assert dp.bytes_stored == 100
+
+    def test_list_pages_filters_by_blob(self):
+        dp = DataProvider(0)
+        dp.put_page(PageKey("a", "w", 0), PagePayload.virtual(1))
+        dp.put_page(PageKey("b", "w", 0), PagePayload.virtual(1))
+        assert dp.list_pages("a") == [PageKey("a", "w", 0)]
+
+    def test_crash_recover(self):
+        dp = DataProvider(0)
+        dp.crash()
+        with pytest.raises(ProviderUnavailable):
+            dp.put_page(self.key(), PagePayload.virtual(1))
+        dp.recover()
+        dp.put_page(self.key(), PagePayload.virtual(1))
+
+    def test_stats_and_dispatch(self):
+        dp = DataProvider(3)
+        dp.handle("data.put_page", (self.key(), PagePayload.virtual(64)))
+        stats = dp.handle("data.stats", ())
+        assert stats == {
+            "provider_id": 3, "pages": 1, "bytes": 64, "puts": 1, "gets": 0,
+        }
+        with pytest.raises(ValueError):
+            dp.handle("data.nope", ())
+
+
+class TestStrategies:
+    def test_round_robin_cycles(self):
+        s = RoundRobin()
+        assert s.allocate(5, [0, 1, 2], {}) == [0, 1, 2, 0, 1]
+        assert s.allocate(2, [0, 1, 2], {}) == [2, 0]
+        s.reset()
+        assert s.allocate(1, [0, 1, 2], {}) == [0]
+
+    def test_round_robin_distinct_when_enough(self):
+        s = RoundRobin()
+        got = s.allocate(4, list(range(8)), {})
+        assert len(set(got)) == 4
+
+    def test_least_loaded_prefers_empty(self):
+        s = LeastLoaded(pagesize_hint=10)
+        got = s.allocate(2, [0, 1, 2], {0: 100, 1: 0, 2: 50})
+        assert got[0] == 1
+        assert got[1] in (1, 2)  # 1 now has 10, still least
+
+    def test_least_loaded_balances_within_request(self):
+        s = LeastLoaded(pagesize_hint=1)
+        got = s.allocate(9, [0, 1, 2], {})
+        assert sorted(got.count(i) for i in range(3)) == [3, 3, 3]
+
+    def test_random_k_deterministic_per_seed(self):
+        a = RandomK(k=2, seed=5).allocate(20, list(range(8)), {})
+        b = RandomK(k=2, seed=5).allocate(20, list(range(8)), {})
+        assert a == b
+
+    def test_random_k_balance_beats_k1(self):
+        def spread(k):
+            s = RandomK(k=k, seed=7)
+            load: dict[int, int] = {}
+            for p in s.allocate(400, list(range(10)), load):
+                load[p] = load.get(p, 0) + 1
+            return max(load.values()) - min(load.values())
+
+        assert spread(2) <= spread(1)
+
+    def test_random_k_validation(self):
+        with pytest.raises(ValueError):
+            RandomK(k=0)
+
+    def test_factory(self):
+        assert isinstance(make_strategy("round_robin"), RoundRobin)
+        assert isinstance(make_strategy("least_loaded"), LeastLoaded)
+        assert isinstance(make_strategy("random_k", k=3), RandomK)
+        with pytest.raises(ValueError):
+            make_strategy("magic")
+
+
+class TestProviderManager:
+    def test_register_deregister(self):
+        pm = ProviderManager()
+        assert pm.register(0) == 1
+        assert pm.register(1) == 2
+        assert pm.deregister(0) == 1
+        assert pm.providers() == [1]
+
+    def test_allocation_one_group_per_page(self):
+        pm = ProviderManager()
+        for i in range(4):
+            pm.register(i)
+        groups = pm.get_providers("b", 6, 4096)
+        assert len(groups) == 6
+        assert all(len(g) == 1 for g in groups)
+
+    def test_allocation_tracks_load(self):
+        pm = ProviderManager()
+        pm.register(0)
+        pm.register(1)
+        pm.get_providers("b", 4, 100)
+        load = pm.load_view()
+        assert sum(load.values()) == 400
+
+    def test_replication_groups_distinct(self):
+        pm = ProviderManager(replication=3)
+        for i in range(5):
+            pm.register(i)
+        groups = pm.get_providers("b", 4, 4096)
+        for g in groups:
+            assert len(g) == 3
+            assert len(set(g)) == 3
+
+    def test_not_enough_providers(self):
+        pm = ProviderManager(replication=2)
+        pm.register(0)
+        with pytest.raises(NotEnoughProviders):
+            pm.get_providers("b", 1, 4096)
+
+    def test_invalid_npages(self):
+        pm = ProviderManager()
+        pm.register(0)
+        with pytest.raises(ValueError):
+            pm.get_providers("b", 0, 4096)
+
+    def test_report_usage(self):
+        pm = ProviderManager()
+        pm.register(0)
+        pm.get_providers("b", 2, 100)
+        pm.report_usage(0, 50)
+        assert pm.load_view()[0] == 50
+
+    def test_dispatch(self):
+        pm = ProviderManager()
+        assert pm.handle("pm.register", (7,)) == 1
+        assert pm.handle("pm.providers", ()) == [7]
+        groups = pm.handle("pm.get_providers", ("b", 2, 4096))
+        assert len(groups) == 2
+        with pytest.raises(ValueError):
+            pm.handle("pm.nope", ())

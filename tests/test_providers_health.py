@@ -1,0 +1,134 @@
+"""Heartbeat failure detection and its provider-manager integration."""
+
+import pytest
+
+from repro.providers.health import HealthState, HealthTracker
+from repro.providers.manager import ProviderManager
+
+
+def tracker():
+    return HealthTracker(suspect_after=3.0, evict_after=10.0)
+
+
+class TestHealthTracker:
+    def test_fresh_provider_alive(self):
+        t = tracker()
+        t.register(0)
+        assert t.state_of(0) == HealthState.ALIVE
+        assert t.allocatable() == [0]
+
+    def test_unknown_provider_is_dead(self):
+        assert tracker().state_of(99) == HealthState.DEAD
+
+    def test_silence_leads_to_suspicion(self):
+        t = tracker()
+        t.register(0)
+        transitions = t.advance(3.0)
+        assert transitions == [(0, HealthState.SUSPECT)]
+        assert t.allocatable() == []
+        assert t.members() == [0]  # suspect is still a member
+
+    def test_prolonged_silence_evicts(self):
+        t = tracker()
+        t.register(0)
+        t.advance(10.0)
+        assert t.state_of(0) == HealthState.DEAD
+        assert t.members() == []
+
+    def test_heartbeat_revives_suspect(self):
+        t = tracker()
+        t.register(0)
+        t.advance(4.0)
+        assert t.state_of(0) == HealthState.SUSPECT
+        t.heartbeat(0)
+        assert t.state_of(0) == HealthState.ALIVE
+        assert t.allocatable() == [0]
+
+    def test_heartbeat_implicitly_registers(self):
+        t = tracker()
+        assert t.heartbeat(7, now=1.0) == HealthState.ALIVE
+        assert t.members() == [7]
+
+    def test_regular_heartbeats_keep_alive(self):
+        t = tracker()
+        t.register(0)
+        for step in range(1, 20):
+            t.heartbeat(0, now=float(step))
+        assert t.state_of(0) == HealthState.ALIVE
+
+    def test_clock_monotonicity_enforced(self):
+        t = tracker()
+        t.advance(5.0)
+        with pytest.raises(ValueError):
+            t.advance(4.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HealthTracker(suspect_after=0, evict_after=1)
+        with pytest.raises(ValueError):
+            HealthTracker(suspect_after=5, evict_after=5)
+
+    def test_summary(self):
+        t = tracker()
+        t.register(0)
+        t.register(1)
+        t.heartbeat(1, now=0.0)
+        t.advance(4.0)
+        t.heartbeat(1)
+        assert t.summary() == {"alive": 1, "suspect": 1, "members": 2}
+
+    def test_mixed_population_transitions(self):
+        t = tracker()
+        for pid in range(4):
+            t.register(pid)
+        t.heartbeat(0, now=2.0)
+        t.heartbeat(1, now=2.0)
+        transitions = t.advance(4.0)  # 2 and 3 silent for 4s
+        assert sorted(pid for pid, _ in transitions) == [2, 3]
+        assert t.allocatable() == [0, 1]
+
+
+class TestManagerIntegration:
+    def make_pm(self):
+        pm = ProviderManager(health=tracker())
+        for pid in range(4):
+            pm.register(pid)
+        return pm
+
+    def test_allocation_skips_suspects(self):
+        pm = self.make_pm()
+        pm.heartbeat(0, now=2.0)
+        pm.heartbeat(1, now=2.0)
+        pm.tick(4.0)  # 2 and 3 have been silent since t=0: suspect
+        groups = pm.get_providers("b", 8, 4096)
+        used = {g[0] for g in groups}
+        assert used == {0, 1}
+
+    def test_dead_providers_deregistered(self):
+        pm = self.make_pm()
+        for step in range(1, 12):
+            pm.heartbeat(0, now=float(step))
+        assert pm.providers() == [0]  # 1-3 silent > evict_after: evicted
+
+    def test_revived_provider_reused(self):
+        pm = self.make_pm()
+        pm.tick(4.0)  # everyone suspect except... all silent -> all suspect
+        pm.heartbeat(2)
+        groups = pm.get_providers("b", 4, 4096)
+        assert {g[0] for g in groups} == {2}
+
+    def test_heartbeat_without_tracker_is_noop(self):
+        pm = ProviderManager()
+        pm.register(0)
+        assert pm.heartbeat(0) == "untracked"
+        assert pm.tick(5.0) == []
+
+    def test_rpc_surface(self):
+        pm = self.make_pm()
+        assert pm.handle("pm.heartbeat", (1, 0.5)) == "alive"
+        assert pm.handle("pm.tick", (1.0,)) == []
+
+    def test_heartbeat_registers_new_provider(self):
+        pm = self.make_pm()
+        pm.heartbeat(9)
+        assert 9 in pm.providers()

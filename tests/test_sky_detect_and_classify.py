@@ -1,0 +1,214 @@
+"""Detection (differencing + source extraction) and classification."""
+
+import numpy as np
+import pytest
+import scipy.ndimage
+
+from repro.sky.detect import (
+    Candidate,
+    detect_sources,
+    difference_image,
+    label_components,
+    match_candidate,
+    robust_sigma,
+)
+from repro.sky.lightcurve import (
+    NOISE,
+    SUPERNOVA,
+    VARIABLE,
+    classify_lightcurve,
+    curve_features,
+    extract_flux,
+)
+from repro.sky.skymodel import SkyModel, SkySpec, SupernovaEvent
+from repro.util.rng import substream
+
+
+class TestDifferenceImage:
+    def test_signed_result(self):
+        cur = np.full((4, 4), 10, dtype=np.uint16)
+        ref = np.full((4, 4), 20, dtype=np.uint16)
+        diff = difference_image(cur, ref)
+        assert diff.dtype == np.float64
+        assert np.all(diff == -10.0)  # uint16 wrap would give 65526
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            difference_image(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestRobustSigma:
+    def test_gaussian_estimate(self):
+        rng = substream(1, "sigma")
+        x = rng.normal(0, 5.0, size=(200, 200))
+        assert robust_sigma(x) == pytest.approx(5.0, rel=0.05)
+
+    def test_outlier_immunity(self):
+        rng = substream(2, "sigma")
+        x = rng.normal(0, 5.0, size=(100, 100))
+        x[:3, :3] = 1e6  # a bright star would wreck np.std
+        assert robust_sigma(x) == pytest.approx(5.0, rel=0.1)
+
+    def test_degenerate_constant_image(self):
+        assert robust_sigma(np.zeros((8, 8))) > 0
+
+
+class TestLabelComponents:
+    def test_empty_mask(self):
+        labels, n = label_components(np.zeros((5, 5), dtype=bool))
+        assert n == 0 and labels.sum() == 0
+
+    def test_two_blobs(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[1:3, 1:3] = True
+        mask[5:7, 5:7] = True
+        labels, n = label_components(mask)
+        assert n == 2
+        assert len(np.unique(labels)) == 3
+
+    def test_diagonal_not_connected(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = mask[1, 1] = True
+        _, n = label_components(mask)
+        assert n == 2  # 4-connectivity
+
+    def test_matches_scipy(self):
+        rng = substream(3, "mask")
+        for trial in range(5):
+            mask = rng.random((40, 40)) < 0.25
+            ours, n_ours = label_components(mask)
+            theirs, n_theirs = scipy.ndimage.label(
+                mask, structure=[[0, 1, 0], [1, 1, 1], [0, 1, 0]]
+            )
+            assert n_ours == n_theirs
+            # same partition up to label renaming
+            for comp in range(1, n_ours + 1):
+                cells = ours == comp
+                their_labels = set(np.unique(theirs[cells]))
+                assert len(their_labels) == 1
+
+
+class TestDetectSources:
+    def make_diff(self, spots, shape=(64, 64), noise=5.0):
+        rng = substream(4, "diff")
+        img = rng.normal(0, noise, size=shape)
+        for x, y, flux in spots:
+            yy, xx = np.mgrid[0:shape[0], 0:shape[1]]
+            img += flux * np.exp(-((xx - x) ** 2 + (yy - y) ** 2) / (2 * 1.5**2)) / (
+                2 * np.pi * 1.5**2
+            )
+        return img
+
+    def test_single_source_found(self):
+        diff = self.make_diff([(30, 20, 5000)])
+        cands = detect_sources(diff, threshold_sigma=5.0)
+        assert len(cands) == 1
+        assert cands[0].distance_to(30, 20) < 1.0
+        assert cands[0].flux > 1000
+
+    def test_multiple_sources_sorted_by_flux(self):
+        diff = self.make_diff([(10, 10, 3000), (50, 50, 9000)])
+        cands = detect_sources(diff, threshold_sigma=5.0)
+        assert len(cands) == 2
+        assert cands[0].flux > cands[1].flux
+        assert cands[0].distance_to(50, 50) < 1.0
+
+    def test_pure_noise_no_detections(self):
+        diff = self.make_diff([])
+        assert detect_sources(diff, threshold_sigma=5.0) == []
+
+    def test_min_pixels_filters_hot_pixels(self):
+        diff = self.make_diff([])
+        diff[7, 7] = 1e5  # single hot pixel
+        assert detect_sources(diff, threshold_sigma=5.0, min_pixels=4) == []
+
+    def test_negative_sources_ignored(self):
+        diff = -self.make_diff([(30, 30, 8000)])
+        assert detect_sources(diff, threshold_sigma=5.0) == []
+
+    def test_match_candidate(self):
+        cands = [
+            Candidate(x=10, y=10, flux=5, npix=4, peak=2),
+            Candidate(x=11, y=10, flux=9, npix=4, peak=3),
+        ]
+        hit = match_candidate(cands, 10.8, 10.0, radius=3.0)
+        assert hit is cands[1]
+        assert match_candidate(cands, 40, 40, radius=3.0) is None
+
+
+class TestExtractFlux:
+    def test_flux_recovered_from_psf(self):
+        spec = SkySpec(tiles_x=1, tiles_y=1, noise_sigma=0.0, stars_per_tile=0)
+        sn = SupernovaEvent(tile=(0, 0), x=60.0, y=60.0, t0=0.0, peak_flux=4000.0)
+        model = SkyModel(spec=spec, supernovae=[sn])
+        base = model.base_field((0, 0))
+        img = model.render_epoch((0, 0), 0).astype(np.float64) - base
+        flux = extract_flux(img, 60.0, 60.0, aperture=5)
+        assert flux == pytest.approx(4000.0, rel=0.1)
+
+
+class TestClassifier:
+    EPOCHS = 12
+    NOISE_FLOOR = 120.0
+
+    def sn_curve(self, t0=4.0, peak=3000.0, rise=1.2, decay=3.5):
+        sn = SupernovaEvent(tile=(0, 0), x=0, y=0, t0=t0, peak_flux=peak,
+                            rise=rise, decay=decay)
+        return np.array([sn.flux(t) for t in range(self.EPOCHS)])
+
+    def var_curve(self, period=3.0, amp=2000.0):
+        return 2000.0 + amp * np.sin(2 * np.pi * np.arange(self.EPOCHS) / period)
+
+    def test_supernova_classified(self):
+        assert classify_lightcurve(self.sn_curve(), self.NOISE_FLOOR) == SUPERNOVA
+
+    def test_variable_classified(self):
+        assert classify_lightcurve(self.var_curve(), self.NOISE_FLOOR) == VARIABLE
+
+    def test_noise_classified(self):
+        rng = substream(5, "curve")
+        curve = rng.normal(0, 50.0, size=self.EPOCHS)
+        assert classify_lightcurve(curve, self.NOISE_FLOOR) == NOISE
+
+    def test_flat_curve_is_noise(self):
+        assert classify_lightcurve(np.full(self.EPOCHS, 500.0), self.NOISE_FLOOR) == NOISE
+
+    def test_features_single_peak_asymmetric(self):
+        feats = curve_features(self.sn_curve(), self.NOISE_FLOOR)
+        assert feats.n_peaks == 1
+        assert feats.asymmetry >= 1.0
+        assert feats.significance > 5
+
+    def test_features_periodic_multi_peak(self):
+        feats = curve_features(self.var_curve(), self.NOISE_FLOOR)
+        assert feats.n_peaks >= 2
+
+    def test_noisy_supernova_still_classified(self):
+        rng = substream(6, "noisy")
+        curve = self.sn_curve(peak=4000.0) + rng.normal(0, 100.0, self.EPOCHS)
+        assert classify_lightcurve(curve, self.NOISE_FLOOR) == SUPERNOVA
+
+    def test_many_random_events_high_accuracy(self):
+        """Bulk accuracy over randomized parameter draws."""
+        rng = substream(7, "bulk")
+        correct = 0
+        total = 60
+        for i in range(total):
+            if i % 2 == 0:
+                curve = self.sn_curve(
+                    t0=float(rng.uniform(2.0, 8.0)),
+                    peak=float(rng.uniform(2000, 8000)),
+                    rise=float(rng.uniform(0.8, 1.6)),
+                    decay=float(rng.uniform(2.5, 5.0)),
+                )
+                expected = SUPERNOVA
+            else:
+                curve = self.var_curve(
+                    period=float(rng.uniform(2.0, 4.0)),
+                    amp=float(rng.uniform(1000, 3000)),
+                )
+                expected = VARIABLE
+            curve = curve + rng.normal(0, 80.0, self.EPOCHS)
+            if classify_lightcurve(curve, self.NOISE_FLOOR) == expected:
+                correct += 1
+        assert correct / total >= 0.85

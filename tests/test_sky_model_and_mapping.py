@@ -1,0 +1,146 @@
+"""Synthetic sky model and the 2D→1D blob mapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sky.mapping import SkyMapping
+from repro.sky.skymodel import SkyModel, SkySpec, SupernovaEvent, VariableStar
+from repro.util.sizes import KB
+
+SPEC = SkySpec(tiles_x=2, tiles_y=2, seed=3)
+
+
+class TestSkySpec:
+    def test_tile_bytes_default_is_one_page(self):
+        assert SkySpec().tile_bytes == 64 * KB
+
+    def test_counts(self):
+        assert SPEC.n_tiles == 4
+        assert SPEC.tile_pixels == 128 * 256
+
+
+class TestEvents:
+    def test_supernova_light_curve_shape(self):
+        sn = SupernovaEvent(tile=(0, 0), x=10, y=10, t0=5.0, peak_flux=1000.0)
+        fluxes = [sn.flux(t) for t in range(12)]
+        assert max(fluxes) == pytest.approx(1000.0)
+        assert np.argmax(fluxes) == 5
+        # asymmetry: decays slower than it rises
+        assert sn.flux(7.0) > sn.flux(3.0)
+        # vanishes long before t0
+        assert sn.flux(0.0) < 1.0
+
+    def test_variable_star_periodicity(self):
+        var = VariableStar(
+            tile=(0, 0), x=5, y=5, base_flux=100.0, amplitude=50.0, period=4.0
+        )
+        assert var.flux(0.0) == pytest.approx(var.flux(4.0))
+        assert var.flux(1.0) == pytest.approx(150.0)
+        assert var.flux(3.0) == pytest.approx(50.0)
+
+
+class TestSkyModel:
+    def test_base_field_deterministic(self):
+        m = SkyModel(spec=SPEC)
+        a = m.base_field((0, 0))
+        b = m.base_field((0, 0))
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, m.base_field((1, 0)))
+
+    def test_render_shape_and_dtype(self):
+        img = SkyModel(spec=SPEC).render_epoch((0, 0), 0)
+        assert img.shape == (SPEC.tile_height, SPEC.tile_width)
+        assert img.dtype == np.uint16
+
+    def test_epoch_noise_varies(self):
+        m = SkyModel(spec=SPEC)
+        a = m.render_epoch((0, 0), 0).astype(float)
+        b = m.render_epoch((0, 0), 1).astype(float)
+        assert not np.array_equal(a, b)
+        # but only by noise: the difference has ~zero median
+        assert abs(float(np.median(a - b))) < 3 * SPEC.noise_sigma
+
+    def test_supernova_appears_at_peak(self):
+        sn = SupernovaEvent(tile=(0, 0), x=50.0, y=40.0, t0=3.0, peak_flux=8000.0)
+        m = SkyModel(spec=SPEC, supernovae=[sn])
+        quiet = m.render_epoch((0, 0), 0).astype(float)
+        peak = m.render_epoch((0, 0), 3).astype(float)
+        bump = (peak - quiet)[38:43, 48:53].sum()
+        assert bump > 5 * SPEC.noise_sigma * 25
+
+    def test_event_only_in_its_tile(self):
+        sn = SupernovaEvent(tile=(1, 1), x=50.0, y=40.0, t0=2.0, peak_flux=8000.0)
+        m = SkyModel(spec=SPEC, supernovae=[sn])
+        other_quiet = m.base_field((0, 0))
+        other_peak = m.render_epoch((0, 0), 2).astype(float)
+        assert abs(float((other_peak - other_quiet).mean())) < 2 * SPEC.noise_sigma
+
+    def test_with_random_events_deterministic(self):
+        a = SkyModel.with_random_events(SPEC, 3, 2, epochs=8)
+        b = SkyModel.with_random_events(SPEC, 3, 2, epochs=8)
+        assert a.supernovae == b.supernovae
+        assert a.variables == b.variables
+        assert len(a.supernovae) == 3 and len(a.variables) == 2
+
+    def test_events_in_tile(self):
+        m = SkyModel.with_random_events(SPEC, 4, 4, epochs=8)
+        counted = sum(len(m.events_in_tile(t)) for t in
+                      [(x, y) for x in range(2) for y in range(2)])
+        assert counted == 8
+
+
+class TestSkyMapping:
+    def test_slot_is_page_aligned(self):
+        mapping = SkyMapping(SPEC, pagesize=64 * KB)
+        assert mapping.tile_slot_bytes == 64 * KB
+        assert mapping.blob_size >= mapping.used_bytes
+        assert mapping.blob_size & (mapping.blob_size - 1) == 0
+
+    def test_padding_when_tile_smaller_than_page(self):
+        small = SkySpec(tiles_x=1, tiles_y=1, tile_height=16, tile_width=16)
+        mapping = SkyMapping(small, pagesize=4 * KB)
+        assert small.tile_bytes == 512
+        assert mapping.tile_slot_bytes == 4 * KB
+
+    def test_offsets_row_major_and_disjoint(self):
+        mapping = SkyMapping(SPEC, pagesize=64 * KB)
+        offsets = [mapping.tile_offset(t) for t in mapping.all_tiles()]
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == 4
+        assert mapping.tile_offset((1, 0)) - mapping.tile_offset((0, 0)) == (
+            mapping.tile_slot_bytes
+        )
+
+    def test_offset_roundtrip(self):
+        mapping = SkyMapping(SPEC, pagesize=64 * KB)
+        for tile in mapping.all_tiles():
+            assert mapping.tile_of_offset(mapping.tile_offset(tile)) == tile
+
+    def test_bad_tile_rejected(self):
+        mapping = SkyMapping(SPEC, pagesize=64 * KB)
+        with pytest.raises(ConfigError):
+            mapping.tile_offset((5, 0))
+        with pytest.raises(ConfigError):
+            mapping.tile_of_offset(mapping.blob_size * 2)
+
+    def test_encode_decode_roundtrip(self):
+        mapping = SkyMapping(SPEC, pagesize=64 * KB)
+        img = SkyModel(spec=SPEC).render_epoch((0, 0), 0)
+        data = mapping.encode_tile(img)
+        assert len(data) == mapping.tile_slot_bytes
+        assert np.array_equal(mapping.decode_tile(data), img)
+
+    def test_encode_validates_shape_dtype(self):
+        mapping = SkyMapping(SPEC, pagesize=64 * KB)
+        with pytest.raises(ConfigError):
+            mapping.encode_tile(np.zeros((4, 4), dtype=np.uint16))
+        with pytest.raises(ConfigError):
+            mapping.encode_tile(
+                np.zeros((SPEC.tile_height, SPEC.tile_width), dtype=np.float64)
+            )
+
+    def test_decode_validates_length(self):
+        mapping = SkyMapping(SPEC, pagesize=64 * KB)
+        with pytest.raises(ConfigError):
+            mapping.decode_tile(b"short")

@@ -1,0 +1,112 @@
+"""Stateful property testing: the Chord ring vs a dict, under churn.
+
+Random sequences of puts, gets, deletes, joins, graceful leaves and
+single-node crashes (replication 3 re-establishes replicas after every
+membership change, so sequential single crashes never lose data). The
+ring must remain indistinguishable from a plain dictionary and its
+topology must stay consistent after every step.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.dht.hashing import key_id
+from repro.dht.ring import ChordRing
+from repro.errors import NodeMissing
+
+
+class ChordMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.ring = ChordRing([f"seed-{i}" for i in range(4)], replication=3)
+        self.model: dict = {}
+        self.counter = 0
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(key=st.integers(min_value=0, max_value=40), value=st.integers())
+    def put(self, key: int, value: int) -> None:
+        self.ring.put(("k", key), value)
+        self.model[("k", key)] = value
+
+    @rule(key=st.integers(min_value=0, max_value=40))
+    def get(self, key: int) -> None:
+        if ("k", key) in self.model:
+            assert self.ring.get(("k", key)) == self.model[("k", key)]
+        else:
+            try:
+                self.ring.get(("k", key))
+            except NodeMissing:
+                return
+            raise AssertionError(f"ghost key {key} present in ring")
+
+    @rule(key=st.integers(min_value=0, max_value=40))
+    def delete(self, key: int) -> None:
+        removed = self.ring.delete(("k", key))
+        if ("k", key) in self.model:
+            assert removed >= 1
+            del self.model[("k", key)]
+        else:
+            assert removed == 0
+
+    @precondition(lambda self: len(self.ring) < 10)
+    @rule()
+    def node_joins(self) -> None:
+        self.counter += 1
+        self.ring.add_node(f"join-{self.counter}")
+
+    @precondition(lambda self: len(self.ring) > 4)
+    @rule(pick=st.randoms(use_true_random=False))
+    def node_leaves_gracefully(self, pick) -> None:
+        name = pick.choice(sorted(
+            n for n, node in self.ring.nodes.items() if node.alive
+        ))
+        self.ring.remove_node(name, graceful=True)
+
+    @precondition(lambda self: len(self.ring) > 4)
+    @rule(pick=st.randoms(use_true_random=False))
+    def node_crashes(self, pick) -> None:
+        name = pick.choice(sorted(
+            n for n, node in self.ring.nodes.items() if node.alive
+        ))
+        self.ring.remove_node(name, graceful=False)
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def ring_topology_consistent(self) -> None:
+        assert self.ring._consistent()
+
+    @invariant()
+    def all_model_keys_readable(self) -> None:
+        for key, value in self.model.items():
+            assert self.ring.get(key) == value
+
+    @invariant()
+    def replication_factor_respected(self) -> None:
+        live = [n for n in self.ring.nodes.values() if n.alive]
+        want = min(self.ring.replication, len(live))
+        for key in self.model:
+            holders = [n for n in live if key in n.store]
+            assert len(holders) == want, f"{key}: {len(holders)} copies"
+
+    @invariant()
+    def keys_live_on_owner_successors(self) -> None:
+        for key in self.model:
+            owner = self.ring.owner_of(key)
+            assert key in owner.store
+            assert owner.owns(key_id(key))
+
+
+TestChordStateMachine = ChordMachine.TestCase
+TestChordStateMachine.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,134 @@
+"""Power-of-two arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    align_down,
+    align_up,
+    ceil_div,
+    ceil_pow2,
+    floor_pow2,
+    is_pow2,
+    log2_exact,
+)
+
+
+class TestIsPow2:
+    def test_small_powers(self):
+        assert is_pow2(1)
+        assert is_pow2(2)
+        assert is_pow2(64)
+        assert is_pow2(1 << 40)
+
+    def test_non_powers(self):
+        assert not is_pow2(0)
+        assert not is_pow2(3)
+        assert not is_pow2(6)
+        assert not is_pow2(-4)
+        assert not is_pow2((1 << 40) - 1)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_all_shifts_are_powers(self, k):
+        assert is_pow2(1 << k)
+
+
+class TestLog2Exact:
+    def test_roundtrip(self):
+        for k in range(50):
+            assert log2_exact(1 << k) == k
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(3)
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            log2_exact(0)
+        with pytest.raises(ValueError):
+            log2_exact(-8)
+
+
+class TestCeilFloorPow2:
+    def test_ceil_identity_on_powers(self):
+        assert ceil_pow2(8) == 8
+
+    def test_ceil_rounds_up(self):
+        assert ceil_pow2(9) == 16
+        assert ceil_pow2(1) == 1
+        assert ceil_pow2(1025) == 2048
+
+    def test_floor_identity_on_powers(self):
+        assert floor_pow2(16) == 16
+
+    def test_floor_rounds_down(self):
+        assert floor_pow2(17) == 16
+        assert floor_pow2(1) == 1
+
+    def test_reject_below_one(self):
+        with pytest.raises(ValueError):
+            ceil_pow2(0)
+        with pytest.raises(ValueError):
+            floor_pow2(0)
+
+    @given(st.integers(min_value=1, max_value=1 << 50))
+    def test_bracketing(self, x):
+        lo, hi = floor_pow2(x), ceil_pow2(x)
+        assert lo <= x <= hi
+        assert is_pow2(lo) and is_pow2(hi)
+        if not is_pow2(x):
+            assert hi == 2 * lo
+
+
+class TestAlign:
+    def test_align_down(self):
+        assert align_down(0, 8) == 0
+        assert align_down(7, 8) == 0
+        assert align_down(8, 8) == 8
+        assert align_down(15, 8) == 8
+
+    def test_align_up(self):
+        assert align_up(0, 8) == 0
+        assert align_up(1, 8) == 8
+        assert align_up(8, 8) == 8
+        assert align_up(9, 8) == 16
+
+    def test_rejects_non_pow2_alignment(self):
+        with pytest.raises(ValueError):
+            align_down(5, 3)
+        with pytest.raises(ValueError):
+            align_up(5, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 40),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_bracketing_property(self, x, k):
+        a = 1 << k
+        down, up = align_down(x, a), align_up(x, a)
+        assert down <= x <= up
+        assert down % a == 0 and up % a == 0
+        assert up - down in (0, a)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounding(self):
+        assert ceil_div(9, 4) == 3
+        assert ceil_div(1, 4) == 1
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 40),
+        st.integers(min_value=1, max_value=1 << 20),
+    )
+    def test_matches_float_ceil(self, a, b):
+        assert ceil_div(a, b) == -(-a // b)
+        assert (ceil_div(a, b) - 1) * b < a or a == 0

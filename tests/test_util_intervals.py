@@ -1,0 +1,130 @@
+"""Canonical interval algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intervals import Interval, canonical_cover, page_span
+
+PAGE = 4096
+
+
+class TestIntervalBasics:
+    def test_end_and_contains(self):
+        iv = Interval(100, 50)
+        assert iv.end == 150
+        assert iv.contains(Interval(100, 50))
+        assert iv.contains(Interval(120, 10))
+        assert not iv.contains(Interval(90, 20))
+        assert not iv.contains(Interval(140, 20))
+
+    def test_contains_point(self):
+        iv = Interval(10, 5)
+        assert iv.contains_point(10)
+        assert iv.contains_point(14)
+        assert not iv.contains_point(15)
+        assert not iv.contains_point(9)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 5)
+        with pytest.raises(ValueError):
+            Interval(0, -5)
+
+    def test_empty(self):
+        assert Interval(5, 0).is_empty()
+        assert not Interval(5, 1).is_empty()
+
+    def test_intersects_half_open(self):
+        # touching intervals share no byte
+        assert not Interval(0, 10).intersects(Interval(10, 10))
+        assert Interval(0, 11).intersects(Interval(10, 10))
+        assert Interval(5, 1).intersects(Interval(0, 10))
+
+    def test_intersection(self):
+        got = Interval(0, 10).intersection(Interval(5, 10))
+        assert got == Interval(5, 5)
+        empty = Interval(0, 5).intersection(Interval(10, 5))
+        assert empty.is_empty()
+
+    def test_halves(self):
+        iv = Interval(8, 8)
+        assert iv.left_half() == Interval(8, 4)
+        assert iv.right_half() == Interval(12, 4)
+
+    def test_halves_reject_tiny(self):
+        with pytest.raises(ValueError):
+            Interval(0, 1).left_half()
+
+    def test_is_canonical(self):
+        assert Interval(0, PAGE).is_canonical(PAGE)
+        assert Interval(2 * PAGE, 2 * PAGE).is_canonical(PAGE)
+        assert not Interval(PAGE, 2 * PAGE).is_canonical(PAGE)  # misaligned
+        assert not Interval(0, 3 * PAGE).is_canonical(PAGE)  # not pow2
+        assert not Interval(0, PAGE // 2).is_canonical(PAGE)  # sub-page
+
+    def test_str(self):
+        assert str(Interval(4, 8)) == "[4,+8)"
+
+
+class TestPageSpan:
+    def test_exact_page(self):
+        assert page_span(0, PAGE, PAGE) == (0, 1)
+
+    def test_interior(self):
+        assert page_span(10, 20, PAGE) == (0, 1)
+
+    def test_straddle(self):
+        assert page_span(PAGE - 1, 2, PAGE) == (0, 2)
+
+    def test_multi_page(self):
+        assert page_span(PAGE, 3 * PAGE, PAGE) == (1, 4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            page_span(0, 0, PAGE)
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 30),
+        st.integers(min_value=1, max_value=1 << 20),
+    )
+    def test_covers_request(self, offset, size):
+        first, last = page_span(offset, size, PAGE)
+        assert first * PAGE <= offset
+        assert last * PAGE >= offset + size
+        # minimality
+        assert (first + 1) * PAGE > offset
+        assert (last - 1) * PAGE < offset + size
+
+
+class TestCanonicalCover:
+    def test_single_page(self):
+        assert canonical_cover(Interval(0, PAGE), PAGE) == [Interval(0, PAGE)]
+
+    def test_aligned_power(self):
+        assert canonical_cover(Interval(0, 4 * PAGE), PAGE) == [Interval(0, 4 * PAGE)]
+
+    def test_unaligned_decomposition(self):
+        got = canonical_cover(Interval(PAGE, 3 * PAGE), PAGE)
+        assert got == [Interval(PAGE, PAGE), Interval(2 * PAGE, 2 * PAGE)]
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            canonical_cover(Interval(1, PAGE), PAGE)
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=1, max_value=256),
+    )
+    def test_cover_properties(self, first_page, npages):
+        iv = Interval(first_page * PAGE, npages * PAGE)
+        parts = canonical_cover(iv, PAGE)
+        # disjoint union equal to iv, in order
+        assert parts[0].offset == iv.offset
+        assert parts[-1].end == iv.end
+        for a, b in zip(parts, parts[1:]):
+            assert a.end == b.offset
+        # each part is canonical
+        assert all(p.is_canonical(PAGE) for p in parts)
+        # minimality bound: at most 2*log2(npages)+2 parts
+        assert len(parts) <= 2 * max(1, npages).bit_length() + 2

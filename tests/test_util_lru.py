@@ -1,0 +1,139 @@
+"""LRU cache policy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.lru import LRUCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.get("b") is None
+        assert c.get("b", 42) == 42
+
+    def test_len_and_contains(self):
+        c = LRUCache(3)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert len(c) == 2
+        assert "a" in c and "b" in c and "c" not in c
+
+    def test_update_existing(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("a", 9)
+        assert c.get("a") == 9
+        assert len(c) == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_clear(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.clear()
+        assert len(c) == 0
+        assert c.get("a") is None
+
+    def test_pop(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        assert c.pop("a") == 1
+        assert c.pop("a", "gone") == "gone"
+        assert len(c) == 0
+
+
+class TestEviction:
+    def test_lru_evicted_first(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("c", 3)  # evicts a
+        assert "a" not in c
+        assert c.get("b") == 2 and c.get("c") == 3
+        assert c.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # a is now most recent
+        c.put("c", 3)  # evicts b
+        assert "a" in c and "b" not in c
+
+    def test_put_refreshes_recency(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 1)
+        c.put("c", 3)  # evicts b
+        assert "a" in c and "b" not in c
+
+    def test_peek_does_not_refresh(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.peek("a") == 1
+        c.put("c", 3)  # a is still LRU: evicted
+        assert "a" not in c
+
+    def test_capacity_never_exceeded(self):
+        c = LRUCache(5)
+        for i in range(100):
+            c.put(i, i)
+        assert len(c) == 5
+        assert set(c) == {95, 96, 97, 98, 99}
+
+
+class TestStats:
+    def test_hit_miss_counting(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.get("a")
+        c.get("zzz")
+        assert c.hits == 1 and c.misses == 1
+        assert c.hit_ratio == 0.5
+
+    def test_hit_ratio_empty(self):
+        assert LRUCache(1).hit_ratio == 0.0
+
+    def test_peek_does_not_count(self):
+        c = LRUCache(1)
+        c.put("a", 1)
+        c.peek("a")
+        c.peek("b")
+        assert c.hits == 0 and c.misses == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("pg"), st.integers(min_value=0, max_value=20)),
+        max_size=200,
+    ),
+    st.integers(min_value=1, max_value=8),
+)
+def test_model_equivalence(ops, capacity):
+    """The cache behaves exactly like an ordered-dict reference model."""
+    from collections import OrderedDict
+
+    cache = LRUCache(capacity)
+    model: OrderedDict = OrderedDict()
+    for op, key in ops:
+        if op == "p":
+            if key in model:
+                model.move_to_end(key)
+            elif len(model) >= capacity:
+                model.popitem(last=False)
+            model[key] = key * 2
+            cache.put(key, key * 2)
+        else:
+            expected = model.get(key)
+            if key in model:
+                model.move_to_end(key)
+            assert cache.get(key) == expected
+    assert list(cache) == list(model)

@@ -1,0 +1,62 @@
+"""Size formatting/parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.sizes import GB, KB, MB, TB, human_size, parse_size
+
+
+class TestConstants:
+    def test_binary_units(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+
+class TestHumanSize:
+    def test_exact_units(self):
+        assert human_size(64 * KB) == "64 KB"
+        assert human_size(1 * TB) == "1 TB"
+        assert human_size(8 * MB) == "8 MB"
+
+    def test_bytes(self):
+        assert human_size(0) == "0 B"
+        assert human_size(512) == "512 B"
+
+    def test_fractional(self):
+        assert human_size(1536) == "1.5 KB"
+        assert human_size(int(2.5 * MB)) == "2.5 MB"
+
+    def test_negative(self):
+        assert human_size(-64 * KB) == "-64 KB"
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("123") == 123
+        assert parse_size("123B") == 123
+
+    def test_units(self):
+        assert parse_size("64KB") == 64 * KB
+        assert parse_size("64 kb") == 64 * KB
+        assert parse_size("1.5 MB") == int(1.5 * MB)
+        assert parse_size("2G") == 2 * GB
+        assert parse_size("1T") == 1 * TB
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+        with pytest.raises(ValueError):
+            parse_size("")
+        with pytest.raises(ValueError):
+            parse_size("12 XB")
+
+    @given(st.integers(min_value=0, max_value=1 << 50))
+    def test_roundtrip_through_human(self, n):
+        """human_size output always parses back within rounding error."""
+        text = human_size(n)
+        parsed = parse_size(text)
+        # one-decimal rendering loses at most 5% of the unit
+        assert abs(parsed - n) <= max(64, int(0.05 * n) + 1024)
