@@ -14,11 +14,14 @@ while preserving every asserted shape.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
 
 import pytest
+
+from repro.bench.compare import result_payload
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -61,6 +64,35 @@ def publish():
         print()
         print(text)
         (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _publish
+
+
+@pytest.fixture(scope="session")
+def publish_json(profile):
+    """Persist a machine-readable result under benchmarks/out/<name>.json.
+
+    The payload (series + host wall-clock + engine counters) is what
+    ``repro.bench.compare`` diffs to track the perf trajectory across PRs.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _publish(
+        name: str,
+        figure_id: str,
+        series,
+        wall_clock_s: float,
+        counters: dict | None = None,
+    ) -> None:
+        payload = result_payload(
+            name,
+            figure_id,
+            series,
+            wall_clock_s,
+            counters=counters,
+            profile={"full": profile.full},
+        )
+        (OUT_DIR / f"{name}.json").write_text(json.dumps(payload, indent=1) + "\n")
 
     return _publish
 

@@ -6,10 +6,13 @@ writers serialize end-to-end and per-writer bandwidth collapses as 1/n;
 the paper's design keeps it nearly flat.
 """
 
+import time
+
 from repro.bench.figures import ablation_lockfree, render_series_table
 
 
-def test_ablation_lockfree(benchmark, publish, profile):
+def test_ablation_lockfree(benchmark, publish, publish_json, profile):
+    t0 = time.perf_counter()
     fig = benchmark.pedantic(
         ablation_lockfree,
         kwargs=dict(
@@ -20,9 +23,11 @@ def test_ablation_lockfree(benchmark, publish, profile):
         iterations=1,
         warmup_rounds=0,
     )
+    wall = time.perf_counter() - t0
     publish(
         "ablation_lockfree", render_series_table(fig, y_format=lambda v: f"{v:.1f}")
     )
+    publish_json("ablation_lockfree", fig.figure_id, fig.series, wall, fig.counters)
 
     lockfree = fig.series_by_label("lock-free (this system)").y
     locked = fig.series_by_label("global RW lock").y

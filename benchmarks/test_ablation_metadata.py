@@ -6,10 +6,13 @@ protocol identical but turns that server's CPU into the bottleneck under
 concurrent uncached readers.
 """
 
+import time
+
 from repro.bench.figures import ablation_metadata, render_series_table
 
 
-def test_ablation_metadata(benchmark, publish, profile):
+def test_ablation_metadata(benchmark, publish, publish_json, profile):
+    t0 = time.perf_counter()
     fig = benchmark.pedantic(
         ablation_metadata,
         kwargs=dict(
@@ -20,9 +23,11 @@ def test_ablation_metadata(benchmark, publish, profile):
         iterations=1,
         warmup_rounds=0,
     )
+    wall = time.perf_counter() - t0
     publish(
         "ablation_metadata", render_series_table(fig, y_format=lambda v: f"{v:.1f}")
     )
+    publish_json("ablation_metadata", fig.figure_id, fig.series, wall, fig.counters)
 
     distributed = fig.series_by_label("distributed (20 providers)").y
     centralized = fig.series_by_label("centralized (1 provider)").y

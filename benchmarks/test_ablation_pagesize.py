@@ -6,15 +6,20 @@ parallelism. The paper settles on 64 KB pages; this sweep shows why the
 metadata term dominates below that and flattens above.
 """
 
+import time
+
 from repro.bench.figures import ablation_pagesize, render_series_table
 from repro.util.sizes import human_size
 
 
-def test_ablation_pagesize(benchmark, publish):
+def test_ablation_pagesize(benchmark, publish, publish_json):
+    t0 = time.perf_counter()
     fig = benchmark.pedantic(
         ablation_pagesize, rounds=1, iterations=1, warmup_rounds=0
     )
+    wall = time.perf_counter() - t0
     publish("ablation_pagesize", render_series_table(fig, x_format=human_size))
+    publish_json("ablation_pagesize", fig.figure_id, fig.series, wall, fig.counters)
 
     writes = fig.series_by_label("WRITE").y
     reads = fig.series_by_label("READ (uncached)").y

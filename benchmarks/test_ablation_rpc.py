@@ -8,15 +8,20 @@ single real RPC call." Disabling aggregation makes every tree-node put its
 own wire RPC, each paying full fixed overhead.
 """
 
+import time
+
 from repro.bench.figures import ablation_rpc_aggregation, render_series_table
 from repro.util.sizes import human_size
 
 
-def test_ablation_rpc_aggregation(benchmark, publish):
+def test_ablation_rpc_aggregation(benchmark, publish, publish_json):
+    t0 = time.perf_counter()
     fig = benchmark.pedantic(
         ablation_rpc_aggregation, rounds=1, iterations=1, warmup_rounds=0
     )
+    wall = time.perf_counter() - t0
     publish("ablation_rpc", render_series_table(fig, x_format=human_size))
+    publish_json("ablation_rpc", fig.figure_id, fig.series, wall, fig.counters)
 
     aggregated = fig.series_by_label("aggregated RPCs").y
     naive = fig.series_by_label("one RPC per node").y

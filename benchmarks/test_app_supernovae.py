@@ -26,9 +26,28 @@ def run_campaign():
     return report
 
 
-def test_app_supernova_campaign(benchmark, publish):
+def test_app_supernova_campaign(benchmark, publish, publish_json):
+    import time
+
+    from repro.bench.figures import Series
+
+    t0 = time.perf_counter()
     report = benchmark.pedantic(run_campaign, rounds=1, iterations=1,
                                 warmup_rounds=0)
+    wall = time.perf_counter() - t0
+    publish_json(
+        "app_supernovae",
+        "App",
+        [Series("quality", ["precision", "recall"],
+                [report.precision, report.recall])],
+        wall,
+        counters={
+            "bytes_written": report.bytes_written,
+            "bytes_read": report.bytes_read,
+            "claimed_supernovae": report.claimed_supernovae,
+            "matched_supernovae": report.matched_supernovae,
+        },
+    )
     lines = [
         "Application: supernova detection campaign (3x3 tiles, 8 epochs)",
         f"  injected supernovae : {report.true_supernovae}",

@@ -9,16 +9,21 @@ Paper shape: time grows with segment size; a larger provider count
 the effect is small compared to the client's own per-node processing.
 """
 
+import time
+
 from benchmarks.conftest import roughly_nondecreasing
 from repro.bench.figures import PAPER_PROVIDER_COUNTS, fig3a_metadata_read, render_series_table
 from repro.util.sizes import human_size
 
 
-def test_fig3a_metadata_read(benchmark, publish):
+def test_fig3a_metadata_read(benchmark, publish, publish_json):
+    t0 = time.perf_counter()
     fig = benchmark.pedantic(
         fig3a_metadata_read, rounds=1, iterations=1, warmup_rounds=0
     )
+    wall = time.perf_counter() - t0
     publish("fig3a_metadata_read", render_series_table(fig, x_format=human_size))
+    publish_json("fig3a_metadata_read", fig.figure_id, fig.series, wall, fig.counters)
 
     for n in PAPER_PROVIDER_COUNTS:
         ys = fig.series_by_label(f"{n} providers").y

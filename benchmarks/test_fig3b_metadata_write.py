@@ -9,16 +9,21 @@ providers working in parallel (§V.C), the opposite provider-count effect
 from Figure 3(a).
 """
 
+import time
+
 from benchmarks.conftest import roughly_nondecreasing
 from repro.bench.figures import fig3b_metadata_write, render_series_table
 from repro.util.sizes import human_size
 
 
-def test_fig3b_metadata_write(benchmark, publish):
+def test_fig3b_metadata_write(benchmark, publish, publish_json):
+    t0 = time.perf_counter()
     fig = benchmark.pedantic(
         fig3b_metadata_write, rounds=1, iterations=1, warmup_rounds=0
     )
+    wall = time.perf_counter() - t0
     publish("fig3b_metadata_write", render_series_table(fig, x_format=human_size))
+    publish_json("fig3b_metadata_write", fig.figure_id, fig.series, wall, fig.counters)
 
     for label in ("10 providers", "20 providers", "40 providers"):
         ys = fig.series_by_label(label).y

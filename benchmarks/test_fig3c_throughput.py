@@ -10,10 +10,13 @@ concurrent clients significantly increases"; cached reads are the fastest;
 everything lives in the 50-85 MB/s band against a 117.5 MB/s wire.
 """
 
+import time
+
 from repro.bench.figures import fig3c_throughput, render_series_table
 
 
-def test_fig3c_throughput(benchmark, publish, profile):
+def test_fig3c_throughput(benchmark, publish, publish_json, profile):
+    t0 = time.perf_counter()
     fig = benchmark.pedantic(
         fig3c_throughput,
         kwargs=dict(
@@ -24,9 +27,11 @@ def test_fig3c_throughput(benchmark, publish, profile):
         iterations=1,
         warmup_rounds=0,
     )
+    wall = time.perf_counter() - t0
     publish(
         "fig3c_throughput", render_series_table(fig, y_format=lambda v: f"{v:.1f}")
     )
+    publish_json("fig3c_throughput", fig.figure_id, fig.series, wall, fig.counters)
 
     read = fig.series_by_label("Read").y
     write = fig.series_by_label("Write").y

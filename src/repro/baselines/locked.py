@@ -161,6 +161,15 @@ class LockedClusterSim:
             for i in range(self.spec.n_clients)
         ]
 
+    def counters(self) -> dict[str, int]:
+        """Engine-load counters (same keys as SimDeployment where defined)."""
+        return {
+            "events_processed": self.sim.events_processed,
+            "processes_started": self.sim._processes_started,
+            "messages_sent": self.network.messages_sent,
+            "bytes_sent": self.network.bytes_sent,
+        }
+
     def access_proto(
         self, client_index: int, size: int, kind: Kind
     ) -> Generator[Event, None, float]:

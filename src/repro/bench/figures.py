@@ -62,12 +62,21 @@ class FigureData:
     series: list[Series] = field(default_factory=list)
     paper: list[Series] = field(default_factory=list)
     notes: str = ""
+    #: engine-load counters summed over every deployment the figure ran
+    #: (events processed, wire RPCs, ... — see SimDeployment.counters())
+    counters: dict = field(default_factory=dict)
 
     def series_by_label(self, label: str) -> Series:
         for s in self.series:
             if s.label == label:
                 return s
         raise KeyError(label)
+
+    def absorb_counters(self, dep) -> None:
+        """Accumulate a finished deployment's engine counters."""
+        totals = self.counters
+        for key, value in dep.counters().items():
+            totals[key] = totals.get(key, 0) + value
 
 
 def render_series_table(fig: FigureData, x_format=str, y_format=None) -> str:
@@ -127,6 +136,7 @@ def fig3a_metadata_read(
             client.run(client.read_virtual_proto(blob, offset, size, trace=trace))
             ys.append(trace["metadata_read"] - trace["version_resolved"])
         fig.series.append(Series(f"{n} providers", list(sizes), ys))
+        fig.absorb_counters(dep)
     for n, ys in PAPER_FIG3A.items():
         if n in provider_counts:
             fig.paper.append(Series(f"{n} providers", list(PAPER_SEGMENT_SIZES), list(ys)))
@@ -171,6 +181,7 @@ def fig3b_metadata_write(
             client.run(client.write_virtual_proto(blob, offset, size, trace=trace))
             ys.append(trace["metadata_stored"] - trace["version_assigned"])
         fig.series.append(Series(f"{n} providers", list(sizes), ys))
+        fig.absorb_counters(dep)
     for n, ys in PAPER_FIG3B.items():
         if n in provider_counts:
             fig.paper.append(Series(f"{n} providers", list(PAPER_SEGMENT_SIZES), list(ys)))
@@ -215,9 +226,16 @@ def fig3c_throughput(
         "write": "Write",
         "read_cached": "Read (cached metadata)",
     }
-    for kind in kinds:
-        ys = []
-        for n in client_counts:
+    # Setup reuse (host-time only): READs never mutate blob state and every
+    # lane drains to idle between series, so both read kinds at a given
+    # client count share one populated deployment — the measured durations
+    # are identical to fresh-deployment runs (FIFO lanes are time-shift
+    # invariant), but the dominant populate cost is paid once, not twice.
+    read_kinds = [k for k in kinds if k != "write"]
+    ys_by_kind: dict[str, list] = {k: [] for k in kinds}
+    for n in client_counts:
+        picker = SegmentPicker(window=window, segment=segment)
+        if "write" in kinds:
             dep = SimDeployment(
                 DeploymentSpec(
                     n_data=providers, n_meta=providers, n_clients=n, cache_capacity=0
@@ -225,21 +243,30 @@ def fig3c_throughput(
                 cluster=cluster,
             )
             blob = dep.alloc_blob(PAPER_TOTAL_SIZE, PAPER_PAGESIZE)
-            picker = SegmentPicker(window=window, segment=segment)
-            if kind != "write":
-                setup = dep.client(0, cached=False, name="populator")
-                populate_window(setup, blob, window, segment)
             bandwidths = run_concurrent_clients(
-                dep,
-                blob,
-                n,
-                iterations,
-                picker,
-                kind="read" if kind != "write" else "write",
-                cached=(kind == "read_cached"),
+                dep, blob, n, iterations, picker, kind="write"
             )
-            ys.append(sum(bandwidths) / len(bandwidths))
-        fig.series.append(Series(labels[kind], list(client_counts), ys))
+            ys_by_kind["write"].append(sum(bandwidths) / len(bandwidths))
+            fig.absorb_counters(dep)
+        if read_kinds:
+            dep = SimDeployment(
+                DeploymentSpec(
+                    n_data=providers, n_meta=providers, n_clients=n, cache_capacity=0
+                ),
+                cluster=cluster,
+            )
+            blob = dep.alloc_blob(PAPER_TOTAL_SIZE, PAPER_PAGESIZE)
+            setup = dep.client(0, cached=False, name="populator")
+            populate_window(setup, blob, window, segment)
+            for kind in read_kinds:
+                bandwidths = run_concurrent_clients(
+                    dep, blob, n, iterations, picker,
+                    kind="read", cached=(kind == "read_cached"),
+                )
+                ys_by_kind[kind].append(sum(bandwidths) / len(bandwidths))
+            fig.absorb_counters(dep)
+    for kind in kinds:
+        fig.series.append(Series(labels[kind], list(client_counts), ys_by_kind[kind]))
     for kind in kinds:
         fig.paper.append(
             Series(
@@ -278,12 +305,14 @@ def ablation_lockfree(
         picker = SegmentPicker(segment=segment)
         bw = run_concurrent_clients(dep, blob, n, iterations, picker, kind="write")
         lockfree.append(sum(bw) / len(bw))
+        fig.absorb_counters(dep)
 
         base = LockedClusterSim(
             DeploymentSpec(n_data=providers, n_meta=1, n_clients=n)
         )
         bw2 = base.run_clients(n, iterations, segment, "write")
         locked.append(sum(bw2) / len(bw2))
+        fig.absorb_counters(base)
     fig.series.append(Series("lock-free (this system)", list(client_counts), lockfree))
     fig.series.append(Series("global RW lock", list(client_counts), locked))
     return fig
@@ -308,21 +337,27 @@ def ablation_metadata(
         ylabel="avg bandwidth per client (MB/s)",
         notes="centralized = all tree nodes on one metadata provider",
     )
+    # Setup reuse (host-time only): the populated blob is read-only under
+    # this workload and lanes idle out between points, so one deployment
+    # per metadata layout serves every client count — per-point durations
+    # match fresh-deployment runs exactly, while the dominant populate
+    # phase runs once per layout instead of once per point.
     for label, n_meta in (("distributed (20 providers)", providers), ("centralized (1 provider)", 1)):
+        dep = SimDeployment(
+            DeploymentSpec(
+                n_data=providers, n_meta=n_meta, n_clients=max(client_counts),
+                cache_capacity=0, colocate=False,
+            )
+        )
+        blob = dep.alloc_blob(PAPER_TOTAL_SIZE, PAPER_PAGESIZE)
+        picker = SegmentPicker(segment=segment)
+        setup = dep.client(0, cached=False, name="populator")
+        populate_window(setup, blob, picker.window, segment)
         ys = []
         for n in client_counts:
-            dep = SimDeployment(
-                DeploymentSpec(
-                    n_data=providers, n_meta=n_meta, n_clients=n,
-                    cache_capacity=0, colocate=False,
-                )
-            )
-            blob = dep.alloc_blob(PAPER_TOTAL_SIZE, PAPER_PAGESIZE)
-            picker = SegmentPicker(segment=segment)
-            setup = dep.client(0, cached=False, name="populator")
-            populate_window(setup, blob, picker.window, segment)
             bw = run_concurrent_clients(dep, blob, n, iterations, picker, kind="read")
             ys.append(sum(bw) / len(bw))
+        fig.absorb_counters(dep)
         fig.series.append(Series(label, list(client_counts), ys))
     return fig
 
@@ -359,6 +394,7 @@ def ablation_rpc_aggregation(
             client.run(client.write_virtual_proto(blob, i * GB, size, trace=trace))
             ys.append(trace["metadata_stored"] - trace["version_assigned"])
         fig.series.append(Series(label, list(sizes), ys))
+        fig.absorb_counters(dep)
     return fig
 
 
@@ -397,6 +433,7 @@ def ablation_pagesize(
         rtrace: dict[str, float] = {}
         client.run(client.read_virtual_proto(blob, 0, segment, trace=rtrace))
         rys.append(rtrace["done"] - rtrace["start"])
+        fig.absorb_counters(dep)
     fig.series.append(Series("WRITE", list(pagesizes), wys))
     fig.series.append(Series("READ (uncached)", list(pagesizes), rys))
     return fig

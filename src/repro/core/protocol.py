@@ -38,6 +38,13 @@ from repro.version.manager import LATEST, WriteTicket
 ADDR_VM: Address = "vm"
 ADDR_PM: Address = "pm"
 
+# Request footprints of the per-node/per-page hot calls, precomputed once
+# from the same estimator the drivers would invoke per call. Key/node wire
+# sizes are type-constant, so resolving them per call is pure overhead on
+# the simulator's hottest path.
+_GET_NODE_REQ_BYTES = estimate_size((NodeKey("", 0, 0, 0),))
+_GET_PAGE_REQ_BYTES = estimate_size((PageKey("", "", 0),))
+
 
 def data_addr(provider_id: int) -> Address:
     return ("data", provider_id)
@@ -147,12 +154,19 @@ def write_protocol(
 
     # 2. store all pages in parallel (every replica of every page at once)
     yield Compute("client.touch_page", npages)
+    # every payload is exactly one page, so all puts share one footprint
+    put_req_bytes = estimate_size((PageKey("", "", 0), payloads[0]))
     page_calls = []
     for i, payload in enumerate(payloads):
         key = PageKey(blob_id, write_uid, first_page + i)
         for provider_id in groups[i]:
             page_calls.append(
-                Call(data_addr(provider_id), "data.put_page", (key, payload))
+                Call(
+                    data_addr(provider_id),
+                    "data.put_page",
+                    (key, payload),
+                    request_bytes=put_req_bytes,
+                )
             )
     yield Batch(page_calls)
     yield from mark("pages_stored")
@@ -167,8 +181,9 @@ def write_protocol(
         geom, blob_id, ticket.version, patch, ticket.refs_as_dict(), groups, write_uid
     )
     yield Compute("client.build_node", len(nodes))
+    put_node_req_bytes = estimate_size((nodes[0],))  # nodes are fixed-size
     meta_calls = [
-        Call(owner, "meta.put_node", (node,))
+        Call(owner, "meta.put_node", (node,), request_bytes=put_node_req_bytes)
         for node in nodes
         for owner in router.route(node.key)
     ]
@@ -327,7 +342,13 @@ def _gather_nodes(router: StaticRouter, keys: list[NodeKey]) -> Proto:
         return router.route(key)
 
     def call_for(key: NodeKey, owner: Address, last: bool) -> Call:
-        return Call(owner, "meta.get_node", (key,), allow_error=not last)
+        return Call(
+            owner,
+            "meta.get_node",
+            (key,),
+            request_bytes=_GET_NODE_REQ_BYTES,
+            allow_error=not last,
+        )
 
     return (yield from _gather_with_failover(keys, routes_for, call_for))
 
@@ -340,7 +361,13 @@ def _gather_pages(geom: TreeGeometry, leaves: list[TreeNode]) -> Proto:
 
     def call_for(leaf: TreeNode, owner: Address, last: bool) -> Call:
         key = PageKey(leaf.key.blob_id, leaf.write_uid, geom.page_index(leaf.interval))
-        return Call(owner, "data.get_page", (key,), allow_error=not last)
+        return Call(
+            owner,
+            "data.get_page",
+            (key,),
+            request_bytes=_GET_PAGE_REQ_BYTES,
+            allow_error=not last,
+        )
 
     return (yield from _gather_with_failover(leaves, routes_for, call_for))
 
@@ -386,8 +413,10 @@ def _gather_with_failover(
 
 
 def split_pages(data: bytes, pagesize: int) -> list[PagePayload]:
-    """Cut a page-aligned buffer into real page payloads (zero-copy views
-    are materialized per page; pages are immutable downstream)."""
+    """Cut a page-aligned buffer into real page payloads.
+
+    Zero-copy: each payload holds a ``memoryview`` slice of ``data`` (pages
+    are immutable downstream, so no per-page materialization is needed)."""
     if len(data) % pagesize:
         raise ValueError(
             f"buffer of {len(data)} B is not a whole number of {pagesize} B pages"

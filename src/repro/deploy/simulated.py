@@ -127,6 +127,18 @@ class SimDeployment:
         total_size, pagesize, _ = self.vm.stat(blob_id)
         return TreeGeometry(total_size, pagesize)
 
+    def blob_nodes(self, blob_id: str) -> list["TreeNode"]:
+        """Every stored tree node of a blob across all metadata providers.
+
+        Setup/inspection helper (zero simulated time); computed fresh on
+        each call so it always reflects the current store.
+        """
+        return [
+            node
+            for provider in self.meta.values()
+            for node in provider.iter_nodes(blob_id)
+        ]
+
     def warm_client_cache(self, client: "SimClient", blob_id: str) -> int:
         """Fill a client's metadata cache with every stored node of a blob.
 
@@ -137,12 +149,11 @@ class SimDeployment:
         """
         if client.cache is None:
             raise ValueError("client has no metadata cache to warm")
-        count = 0
-        for provider in self.meta.values():
-            for key in provider.list_nodes(blob_id):
-                client.cache.put(provider.get_node(key))
-                count += 1
-        return count
+        nodes = self.blob_nodes(blob_id)
+        put = client.cache.put
+        for node in nodes:
+            put(node)
+        return len(nodes)
 
     def run(self, until: Any = None) -> Any:
         return self.sim.run(until)
@@ -150,6 +161,17 @@ class SimDeployment:
     @property
     def now(self) -> float:
         return self.sim.now
+
+    def counters(self) -> dict[str, int]:
+        """Engine-load counters for the perf-regression harness."""
+        return {
+            "events_processed": self.sim.events_processed,
+            "processes_started": self.sim._processes_started,
+            "wire_rpcs": self.executor.wire_rpcs,
+            "sub_calls": self.executor.sub_calls,
+            "messages_sent": self.network.messages_sent,
+            "bytes_sent": self.network.bytes_sent,
+        }
 
 
 class SimClient:

@@ -22,6 +22,50 @@ from repro.metadata.node import NodeKey, TreeNode
 from repro.metadata.tree import TreeGeometry
 from repro.util.intervals import Interval
 
+# The subtree *shape* a write must build depends only on (geometry, patch)
+# — not on version, providers or refs — and benchmark workloads revisit the
+# same patch slots across iterations and clients. Both the write skeleton
+# and the border-interval set are therefore memoized on those four ints.
+# Entries can be large (proportional to the write-tree size), so on
+# overflow the caches are wholesale-cleared rather than growing forever
+# in long-lived processes writing many distinct patch shapes.
+_SHAPE_CACHE_LIMIT = 4096
+_skeleton_cache: dict[tuple[int, int, int, int], list[tuple]] = {}
+_border_cache: dict[tuple[int, int, int, int], list[Interval]] = {}
+
+
+def _write_skeleton(geom: TreeGeometry, patch: Interval) -> list[tuple]:
+    """DFS-ordered shape rows for a write of ``patch``.
+
+    Leaf row: ``(True, offset, size, page_index)``. Internal row:
+    ``(False, offset, size, left_in, right_in, left_iv, right_iv)`` where
+    ``*_in`` says whether that child intersects the patch.
+    """
+    cache_key = (geom.total_size, geom.pagesize, patch.offset, patch.size)
+    skeleton = _skeleton_cache.get(cache_key)
+    if skeleton is not None:
+        return skeleton
+    if len(_skeleton_cache) >= _SHAPE_CACHE_LIMIT:
+        _skeleton_cache.clear()
+    skeleton = []
+    stack: list[Interval] = [geom.root]
+    while stack:
+        iv = stack.pop()
+        if geom.is_leaf(iv):
+            skeleton.append((True, iv.offset, iv.size, geom.page_index(iv)))
+            continue
+        left, right = geom.children(iv)
+        left_in = left.intersects(patch)
+        right_in = right.intersects(patch)
+        skeleton.append((False, iv.offset, iv.size, left_in, right_in, left, right))
+        # push right first so left is processed first (stable DFS order)
+        if right_in:
+            stack.append(right)
+        if left_in:
+            stack.append(left)
+    _skeleton_cache[cache_key] = skeleton
+    return skeleton
+
 
 def plan_write_tree(
     geom: TreeGeometry,
@@ -58,37 +102,26 @@ def plan_write_tree(
         )
 
     nodes: list[TreeNode] = []
-    stack: list[Interval] = [geom.root]
-    while stack:
-        iv = stack.pop()
-        key = NodeKey(blob_id, version, iv.offset, iv.size)
-        if geom.is_leaf(iv):
-            page = geom.page_index(iv)
-            nodes.append(
+    append = nodes.append
+    for row in _write_skeleton(geom, patch):
+        if row[0]:  # leaf
+            _, offset, size, page = row
+            append(
                 TreeNode(
-                    key=key,
+                    key=NodeKey(blob_id, version, offset, size),
                     providers=tuple(page_providers[page - first_page]),
                     write_uid=write_uid,
                 )
             )
-            continue
-        left, right = geom.children(iv)
-        if left.intersects(patch):
-            left_version = version
-            # push right first so left is processed first (stable DFS order)
         else:
-            left_version = _ref(border_refs, left, version)
-        if right.intersects(patch):
-            right_version = version
-        else:
-            right_version = _ref(border_refs, right, version)
-        if right.intersects(patch):
-            stack.append(right)
-        if left.intersects(patch):
-            stack.append(left)
-        nodes.append(
-            TreeNode(key=key, left_version=left_version, right_version=right_version)
-        )
+            _, offset, size, left_in, right_in, left, right = row
+            append(
+                TreeNode(
+                    key=NodeKey(blob_id, version, offset, size),
+                    left_version=version if left_in else _ref(border_refs, left, version),
+                    right_version=version if right_in else _ref(border_refs, right, version),
+                )
+            )
     return nodes
 
 
@@ -114,18 +147,22 @@ def border_intervals(geom: TreeGeometry, patch: Interval) -> list[Interval]:
     precomputing references (paper §IV.C), and tests assert the two agree.
     """
     patch = geom.check_aligned(patch.offset, patch.size)
+    cache_key = (geom.total_size, geom.pagesize, patch.offset, patch.size)
+    cached = _border_cache.get(cache_key)
+    if cached is not None:
+        return list(cached)
+    if len(_border_cache) >= _SHAPE_CACHE_LIMIT:
+        _border_cache.clear()
     out: list[Interval] = []
-    stack: list[Interval] = [geom.root]
-    while stack:
-        iv = stack.pop()
-        if geom.is_leaf(iv):
-            continue
-        for child in geom.children(iv):
-            if child.intersects(patch):
-                stack.append(child)
-            else:
-                out.append(child)
-    return out
+    for row in _write_skeleton(geom, patch):
+        if not row[0]:
+            _, _, _, left_in, right_in, left, right = row
+            if not left_in:
+                out.append(left)
+            if not right_in:
+                out.append(right)
+    _border_cache[cache_key] = out
+    return list(out)
 
 
 def count_write_nodes(geom: TreeGeometry, patch: Interval) -> int:

@@ -31,6 +31,10 @@ class MetadataCache:
     def put(self, node: TreeNode) -> None:
         self._lru.put(node.key, node)
 
+    def preload_from(self, other: "MetadataCache") -> None:
+        """Bulk-adopt another cache's nodes (warm-up helper, C-speed)."""
+        self._lru.load_from(other._lru)
+
     def __len__(self) -> int:
         return len(self._lru)
 

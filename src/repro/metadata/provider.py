@@ -61,6 +61,19 @@ class MetadataProvider:
     def has_node(self, key: NodeKey) -> bool:
         return key in self._nodes
 
+    def iter_nodes(self, blob_id: str) -> Iterable[TreeNode]:
+        """All stored nodes of a blob, without per-node key lookups.
+
+        Local bulk access for setup/inspection helpers (cache warming, GC
+        sweeps); it bypasses the ``gets`` counter but still honours
+        failure injection — reading from a crashed provider must raise
+        exactly as the per-node path would.
+        """
+        self._check_up()  # eager, like list_nodes: raise at call time
+        return (
+            node for key, node in self._nodes.items() if key.blob_id == blob_id
+        )
+
     def free_nodes(self, keys: Iterable[NodeKey]) -> int:
         self._check_up()
         freed = 0

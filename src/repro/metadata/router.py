@@ -4,8 +4,10 @@ The paper stores tree nodes in BambooDHT, whose job in the protocol is
 simply to spread keys uniformly over the metadata providers and locate them
 without coordination. :class:`StaticRouter` reproduces that contract for a
 fixed provider set — matching the paper's deployments, where the provider
-set never changes during an experiment — by hashing the node key with SHA-1
-(the same key space Bamboo/Pastry use). The dynamic-membership general case
+set never changes during an experiment — with a deterministic 64-bit
+digest of the node key (SHA-1 seeds a per-blob salt, echoing the
+Bamboo/Pastry key space; the per-key fold is integer mixing, because this
+digest runs for every node of every WRITE). The dynamic-membership general case
 is implemented by the Chord substrate in :mod:`repro.dht` and exercised by
 its own tests; both honour the same routing contract
 (:meth:`route` returning ``replication`` distinct owner addresses).
@@ -20,15 +22,56 @@ from repro.metadata.node import NodeKey
 from repro.net.sansio import Address
 
 
+_MASK64 = (1 << 64) - 1
+
+#: SHA-1-derived 64-bit salt per blob id (one hash per blob; bounded and
+#: cleared wholesale on overflow like every other cache in this module —
+#: recomputing a salt is cheap and the digest stays deterministic)
+_BLOB_SALT_LIMIT = 1 << 16
+_blob_salts: dict[str, int] = {}
+
+
 def _digest(key: NodeKey) -> int:
-    h = hashlib.sha1(
-        f"{key.blob_id}:{key.version}:{key.offset}:{key.size}".encode()
-    ).digest()
-    return int.from_bytes(h[:8], "big")
+    """Deterministic 64-bit dispersal digest of a node key.
+
+    The blob id goes through SHA-1 once (cached, per blob); the numeric
+    key fields are folded in with inlined SplitMix64 finalizer rounds —
+    pure 64-bit integer arithmetic, so the digest (and therefore every
+    simulated series) is identical across processes, hash seeds, and
+    interpreter builds. (Python's C-speed tuple hash was measurably
+    faster but varies between 64-bit/32-bit/PyPy builds, which would make
+    benchmark baselines non-portable.) Hashing a digest per key was the
+    single hottest line of the WRITE path — every published node resolves
+    its owners, and every write mints fresh keys — so the per-key cost
+    must stay a handful of integer ops rather than SHA-1 per key.
+    """
+    salt = _blob_salts.get(key.blob_id)
+    if salt is None:
+        if len(_blob_salts) >= _BLOB_SALT_LIMIT:
+            _blob_salts.clear()
+        salt = int.from_bytes(hashlib.sha1(key.blob_id.encode()).digest()[:8], "big")
+        _blob_salts[key.blob_id] = salt
+    z = salt ^ (key.version * 0x9E3779B97F4A7C15 & _MASK64)
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK64
+    z = (z ^ (z >> 31)) ^ (key.offset * 0xC2B2AE3D27D4EB4F & _MASK64)
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK64
+    z = (z ^ (z >> 31)) ^ (key.size * 0x165667B19E3779F9 & _MASK64)
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK64
+    return z ^ (z >> 31)
 
 
 class StaticRouter:
-    """Deterministic key dispersal over a fixed metadata-provider set."""
+    """Deterministic key dispersal over a fixed metadata-provider set.
+
+    Routes are memoized per key: a WRITE resolves every node it publishes
+    and a READ every node it descends, and the same keys recur across
+    operations, clients and replicas — while the dispersal digest is
+    deterministic, so a cached answer never goes stale (the provider set
+    is fixed for the router's lifetime).
+    """
 
     def __init__(self, meta_ids: Sequence[int], replication: int = 1) -> None:
         if not meta_ids:
@@ -41,14 +84,31 @@ class StaticRouter:
             )
         self.meta_ids = tuple(meta_ids)
         self.replication = replication
+        self._route_cache: dict[NodeKey, tuple[Address, ...]] = {}
 
     def primary(self, key: NodeKey) -> Address:
-        return ("meta", self.meta_ids[_digest(key) % len(self.meta_ids)])
+        return self.route(key)[0]
+
+    #: route-cache entry bound; on overflow the cache is wholesale-cleared
+    #: (writes mint fresh keys forever, so an unbounded cache would be a
+    #: slow leak on long-lived clients; clearing is cheaper than LRU here)
+    ROUTE_CACHE_LIMIT = 1 << 20
 
     def route(self, key: NodeKey) -> tuple[Address, ...]:
         """All owner addresses for a key: primary plus ring successors."""
-        start = _digest(key) % len(self.meta_ids)
-        return tuple(
-            ("meta", self.meta_ids[(start + i) % len(self.meta_ids)])
-            for i in range(self.replication)
-        )
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if len(self._route_cache) >= self.ROUTE_CACHE_LIMIT:
+            self._route_cache.clear()
+        ids = self.meta_ids
+        start = _digest(key) % len(ids)
+        if self.replication == 1:  # the paper's setting; skip the genexp
+            routes: tuple[Address, ...] = (("meta", ids[start]),)
+        else:
+            routes = tuple(
+                ("meta", ids[(start + i) % len(ids)])
+                for i in range(self.replication)
+            )
+        self._route_cache[key] = routes
+        return routes

@@ -26,8 +26,17 @@ fail-over (e.g. reading a page replica after a provider crash).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Generator, Hashable, Mapping, Protocol as TypingProtocol, TypeVar, Union
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Generator,
+    Hashable,
+    Mapping,
+    NamedTuple,
+    Protocol as TypingProtocol,
+    TypeVar,
+    Union,
+)
 
 from repro.errors import RemoteError, ReproError
 from repro.net.message import estimate_size
@@ -36,9 +45,14 @@ Address = Hashable
 T = TypeVar("T")
 
 
-@dataclass(frozen=True, slots=True)
-class Call:
-    """One remote procedure call."""
+class Call(NamedTuple):
+    """One remote procedure call.
+
+    A NamedTuple rather than a dataclass: protocols mint one ``Call`` per
+    sub-call per batch (hundreds per WRITE), and tuple construction is a
+    single C call where a frozen dataclass pays ``object.__setattr__`` per
+    field.
+    """
 
     dest: Address
     method: str

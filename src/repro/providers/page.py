@@ -39,10 +39,16 @@ def page_key_for(blob_id: str, write_uid: str, index: int) -> PageKey:
 
 @dataclass(frozen=True, slots=True)
 class PagePayload:
-    """Contents of one page: real bytes or a virtual placeholder."""
+    """Contents of one page: real bytes or a virtual placeholder.
+
+    Real contents may be a ``memoryview`` slice of a caller-owned buffer:
+    pages are immutable downstream (the provider enforces write-once), so
+    splitting a large write into pages never needs to copy — the view is
+    carried end to end and only materialized by :meth:`as_bytes`.
+    """
 
     nbytes: int
-    data: bytes | None = None  # None => virtual
+    data: bytes | memoryview | None = None  # None => virtual
 
     def __post_init__(self) -> None:
         if self.nbytes < 0:
@@ -54,8 +60,23 @@ class PagePayload:
 
     @classmethod
     def real(cls, data: bytes | bytearray | memoryview) -> "PagePayload":
-        b = bytes(data)
-        return cls(nbytes=len(b), data=b)
+        # bytes, and byte-shaped memoryviews over bytes, are kept as-is
+        # (zero-copy). Everything else is snapshotted: a mutable source —
+        # bytearray, or any view whose *base* is mutable (a read-only view
+        # over a bytearray still aliases it) — would let a caller reusing
+        # its buffer rewrite already-published pages behind the provider's
+        # back, and non-byte-itemsize views would corrupt the length
+        # bookkeeping (len() counts elements, not bytes).
+        if isinstance(data, memoryview):
+            if not (
+                data.obj.__class__ is bytes
+                and data.ndim == 1
+                and data.itemsize == 1
+            ):
+                data = bytes(data)
+        elif isinstance(data, bytearray):
+            data = bytes(data)
+        return cls(nbytes=len(data), data=data)
 
     @classmethod
     def virtual(cls, nbytes: int) -> "PagePayload":
@@ -69,6 +90,8 @@ class PagePayload:
         """Materialize contents (virtual payloads read as zeros)."""
         if self.data is None:
             return bytes(self.nbytes)
+        if type(self.data) is memoryview:
+            return bytes(self.data)
         return self.data
 
 

@@ -133,11 +133,33 @@ class ClusterSpec:
     client_reply_cpu: dict[str, float] = field(default_factory=_default_client_reply_cpu)
     compute: dict[str, float] = field(default_factory=_default_compute)
 
+    #: default per-sub-call costs for methods absent from the tables
+    DEFAULT_SERVICE_TIME = 25e-6
+    DEFAULT_REPLY_CPU = 2e-6
+
+    def __post_init__(self) -> None:
+        # Per-method cost rows, resolved once and memoized: the RPC hot path
+        # pays one dict lookup per sub-call instead of three.
+        object.__setattr__(self, "_cost_cache", {})
+
+    def method_costs(self, method: str) -> tuple[float, float, float]:
+        """``(service CPU, client reply CPU, async latency)`` for a method."""
+        cache = self._cost_cache
+        costs = cache.get(method)
+        if costs is None:
+            costs = (
+                self.service_fixed.get(method, self.DEFAULT_SERVICE_TIME),
+                self.client_reply_cpu.get(method, self.DEFAULT_REPLY_CPU),
+                self.service_async.get(method, 0.0),
+            )
+            cache[method] = costs
+        return costs
+
     def service_time(self, method: str) -> float:
-        return self.service_fixed.get(method, 25e-6)
+        return self.service_fixed.get(method, self.DEFAULT_SERVICE_TIME)
 
     def reply_cpu(self, method: str) -> float:
-        return self.client_reply_cpu.get(method, 2e-6)
+        return self.client_reply_cpu.get(method, self.DEFAULT_REPLY_CPU)
 
     def compute_cost(self, key: str, units: float) -> float:
         try:
@@ -203,6 +225,7 @@ class Network:
         if src is dst:
             yield self.sim.timeout(1e-6)
             return
-        yield src.tx.submit(nbytes)
-        yield self.sim.timeout(self.spec.latency)
+        # tx serialization and link latency ride one scheduled event; the
+        # receive side is still submitted at the arrival instant.
+        yield src.tx.submit(nbytes, self.spec.latency)
         yield dst.rx.submit(nbytes)

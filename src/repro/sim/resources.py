@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque
 
-from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.engine import Event, SimulationError, Simulator, Timeout
 
 
 class Request(Event):
@@ -102,17 +102,44 @@ class RateLane:
         self.busy_time = 0.0  # total service time accumulated (utilization)
         self.jobs = 0
 
-    def submit(self, amount: float) -> Event:
-        """Queue ``amount`` units of work; event fires at completion time."""
+    def submit(
+        self, amount: float, extra_delay: float = 0.0, not_before: float = 0.0
+    ) -> Event:
+        """Queue ``amount`` units of work; event fires at completion time.
+
+        ``extra_delay`` adds a pure delay after the work completes without
+        occupying the lane (e.g. link latency after NIC serialization);
+        ``not_before`` keeps the job from starting before an absolute
+        instant (e.g. "transmit once the marshalling CPU job finishes").
+        Both fold what used to be separate scheduled waits into a single
+        event — the cornerstone of the 4-events-per-RPC hot path.
+        """
         if amount < 0:
             raise ValueError(f"amount must be >= 0, got {amount}")
+        sim = self.sim
         service = amount / self.rate
-        start = max(self.sim.now, self._free_at)
+        start = max(sim.now, self._free_at, not_before)
         finish = start + service
         self._free_at = finish
         self.busy_time += service
         self.jobs += 1
-        return self.sim.timeout(finish - self.sim.now)
+        return Timeout(sim, finish - sim.now + extra_delay)
+
+    def push(self, amount: float, not_before: float = 0.0) -> float:
+        """Queue work without creating an event; returns the finish time.
+
+        For fire-and-chain jobs whose completion the caller folds into a
+        later ``submit(..., not_before=finish)`` on another lane.
+        """
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        service = amount / self.rate
+        start = max(self.sim.now, self._free_at, not_before)
+        finish = start + service
+        self._free_at = finish
+        self.busy_time += service
+        self.jobs += 1
+        return finish
 
     def delay_for(self, amount: float) -> float:
         """Completion delay a job of ``amount`` would see if submitted now."""

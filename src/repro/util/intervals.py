@@ -40,25 +40,33 @@ class Interval:
 
     def contains(self, other: "Interval") -> bool:
         """True iff ``other`` lies fully inside this interval."""
-        return self.offset <= other.offset and other.end <= self.end
+        return (
+            self.offset <= other.offset
+            and other.offset + other.size <= self.offset + self.size
+        )
 
     def contains_point(self, x: int) -> bool:
-        return self.offset <= x < self.end
+        return self.offset <= x < self.offset + self.size
 
     def intersects(self, other: "Interval") -> bool:
         """True iff the two ranges share at least one byte.
 
         Empty intervals share no bytes with anything (including ranges
-        containing their anchor offset).
+        containing their anchor offset). Bounds are computed inline rather
+        than via the ``end`` property: this predicate runs for every child
+        interval of every tree traversal.
         """
         if self.size == 0 or other.size == 0:
             return False
-        return self.offset < other.end and other.offset < self.end
+        return (
+            self.offset < other.offset + other.size
+            and other.offset < self.offset + self.size
+        )
 
     def intersection(self, other: "Interval") -> "Interval":
         """The overlapping range (may be empty, anchored at max offset)."""
         lo = max(self.offset, other.offset)
-        hi = min(self.end, other.end)
+        hi = min(self.offset + self.size, other.offset + other.size)
         return Interval(lo, max(0, hi - lo))
 
     def left_half(self) -> "Interval":

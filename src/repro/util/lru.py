@@ -77,6 +77,22 @@ class LRUCache(Generic[K, V]):
     def pop(self, key: K, default: V | None = None) -> V | None:
         return self._data.pop(key, default)
 
+    def load_from(self, other: "LRUCache[K, V]") -> None:
+        """Bulk-adopt another cache's entries.
+
+        One C-level dict update instead of a Python call per entry — used
+        to stamp a warmed template cache onto many clients. Counts no
+        hits/misses (like :meth:`peek`); overflow evicts LRU-first. Into
+        an empty cache this reproduces the source's recency order exactly;
+        keys *already present* keep their existing recency slot (unlike a
+        per-entry ``put`` loop, which would refresh them) — intended for
+        freshly created caches.
+        """
+        self._data.update(other._data)
+        while len(self._data) > self._capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
     def clear(self) -> None:
         self._data.clear()
 

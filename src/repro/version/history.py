@@ -23,6 +23,13 @@ from repro.metadata.build import border_intervals
 from repro.metadata.tree import TreeGeometry
 from repro.util.intervals import Interval
 
+#: memoized visit-interval lists keyed by (total_size, pagesize, offset, size)
+#: — the canonical cover of a patch is pure geometry, and workloads stamp
+#: the same patch slots over and over; cleared wholesale on overflow so
+#: long-lived processes writing many distinct shapes don't leak
+_VISIT_CACHE_LIMIT = 4096
+_visit_cache: dict[tuple[int, int, int, int], list[Interval]] = {}
+
 
 class PatchHistory:
     """Sparse latest-writer index over canonical intervals of one blob."""
@@ -31,7 +38,7 @@ class PatchHistory:
         self.geom = geom
         self._latest: dict[Interval, int] = {}
         self.patches: list[tuple[int, Interval]] = []  # (version, patch)
-        self._undo: dict[int, dict[Interval, int]] = {}  # for abandon()
+        self._undo: dict[int, list[tuple[Interval, int]]] = {}  # for abandon()
 
     def __len__(self) -> int:
         return len(self._latest)
@@ -48,10 +55,20 @@ class PatchHistory:
                 f"after {self.patches[-1][0]}"
             )
         patch = self.geom.check_aligned(patch.offset, patch.size)
-        undo: dict[Interval, int] = {}
-        for iv in self.geom.visit_intervals(patch):
-            undo[iv] = self._latest.get(iv, 0)
-            self._latest[iv] = version
+        geom = self.geom
+        cache_key = (geom.total_size, geom.pagesize, patch.offset, patch.size)
+        intervals = _visit_cache.get(cache_key)
+        if intervals is None:
+            if len(_visit_cache) >= _VISIT_CACHE_LIMIT:
+                _visit_cache.clear()
+            intervals = list(geom.visit_intervals(patch))
+            _visit_cache[cache_key] = intervals
+        latest = self._latest
+        latest_get = latest.get
+        undo: list[tuple[Interval, int]] = []
+        for iv in intervals:
+            undo.append((iv, latest_get(iv, 0)))
+            latest[iv] = version
         self.patches.append((version, patch))
         self._undo[version] = undo
 
@@ -67,7 +84,7 @@ class PatchHistory:
                 f"{version} is not it"
             )
         undo = self._undo.pop(version)
-        for iv, prev in undo.items():
+        for iv, prev in undo:
             if prev == 0:
                 self._latest.pop(iv, None)
             else:

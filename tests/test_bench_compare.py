@@ -1,0 +1,147 @@
+"""The perf-regression differ: loading, diffing, and CLI behavior."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    Comparison,
+    compare_dirs,
+    compare_results,
+    load_results,
+    main,
+    result_payload,
+)
+from repro.bench.figures import Series
+
+
+def _payload(name="bench_a", wall=10.0, y=(1.0, 2.0), counters=None):
+    return result_payload(
+        name,
+        "Fig X",
+        [Series("s1", [1, 2], list(y))],
+        wall_clock_s=wall,
+        counters=counters or {"events": 100},
+    )
+
+
+def _write(directory, payload):
+    path = directory / f"{payload['name']}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoad:
+    def test_roundtrip(self, tmp_path):
+        _write(tmp_path, _payload())
+        results = load_results(tmp_path)
+        assert set(results) == {"bench_a"}
+        assert results["bench_a"]["wall_clock_s"] == 10.0
+        assert results["bench_a"]["series"][0]["label"] == "s1"
+
+    def test_empty_dir(self, tmp_path):
+        assert load_results(tmp_path) == {}
+
+
+class TestCompare:
+    def test_identical_sets_are_clean(self):
+        old = {"bench_a": _payload()}
+        new = {"bench_a": _payload()}
+        comparison = compare_results(old, new)
+        assert comparison.ok
+        assert not any(f.kind == "regression" for f in comparison.findings)
+
+    def test_wall_clock_regression_flagged(self):
+        old = {"bench_a": _payload(wall=10.0)}
+        new = {"bench_a": _payload(wall=20.0)}
+        comparison = compare_results(old, new)
+        assert not comparison.ok
+        (finding,) = comparison.regressions
+        assert finding.kind == "regression"
+        assert "2.00x" in finding.detail
+
+    def test_wall_clock_noise_tolerated(self):
+        old = {"bench_a": _payload(wall=10.0)}
+        new = {"bench_a": _payload(wall=11.5)}  # +15% < default 25% tolerance
+        assert compare_results(old, new).ok
+
+    def test_improvement_reported_not_failed(self):
+        old = {"bench_a": _payload(wall=20.0)}
+        new = {"bench_a": _payload(wall=8.0)}
+        comparison = compare_results(old, new)
+        assert comparison.ok
+        assert any(f.kind == "improvement" for f in comparison.findings)
+
+    def test_series_drift_is_a_failure(self):
+        old = {"bench_a": _payload(y=(1.0, 2.0))}
+        new = {"bench_a": _payload(y=(1.0, 2.5))}
+        comparison = compare_results(old, new)
+        assert not comparison.ok
+        assert any(f.kind == "series_drift" for f in comparison.regressions)
+
+    def test_series_bitwise_equality_required(self):
+        old = {"bench_a": _payload(y=(1.0, 2.0))}
+        new = {"bench_a": _payload(y=(1.0, 2.0 + 1e-6))}
+        assert not compare_results(old, new).ok
+
+    def test_truncated_series_is_a_failure(self):
+        """Same x-axis but fewer y points must not slip through the zip."""
+        old = {"bench_a": _payload(y=(1.0, 2.0))}
+        new = {"bench_a": _payload(y=(1.0,))}
+        new["bench_a"]["series"][0]["x"] = old["bench_a"]["series"][0]["x"]
+        comparison = compare_results(old, new)
+        assert not comparison.ok
+        assert any("y length changed" in f.detail for f in comparison.regressions)
+
+    def test_counter_changes_are_informational(self):
+        old = {"bench_a": _payload(counters={"events": 100})}
+        new = {"bench_a": _payload(counters={"events": 50})}
+        comparison = compare_results(old, new)
+        assert comparison.ok
+        (finding,) = [f for f in comparison.findings if f.kind == "counters"]
+        assert "100 -> 50" in finding.detail
+
+    def test_missing_benchmarks_reported(self):
+        comparison = compare_results({"gone": _payload(name="gone")}, {})
+        assert any(f.kind == "missing" for f in comparison.findings)
+        assert comparison.ok  # a removed bench is a warning, not a regression
+
+    def test_render_empty(self):
+        assert "no differences" in Comparison().render()
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        _write(old_dir, _payload(wall=10.0))
+        _write(new_dir, _payload(wall=10.5))
+        assert main([str(old_dir), str(new_dir)]) == 0
+
+        _write(new_dir, _payload(wall=100.0))
+        assert main([str(old_dir), str(new_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+
+    def test_tolerance_flag(self, tmp_path):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        _write(old_dir, _payload(wall=10.0))
+        _write(new_dir, _payload(wall=15.0))
+        assert main([str(old_dir), str(new_dir)]) == 1
+        assert main([str(old_dir), str(new_dir), "--wall-tolerance", "0.6"]) == 0
+
+    def test_compare_dirs_helper(self, tmp_path):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        _write(old_dir, _payload())
+        _write(new_dir, _payload())
+        assert compare_dirs(old_dir, new_dir).ok

@@ -60,8 +60,18 @@ class TestMetadataProvider:
             mp.get_node(NodeKey("b", 1, 0, 4096))
         with pytest.raises(ProviderUnavailable):
             mp.put_node(node())
+        with pytest.raises(ProviderUnavailable):
+            mp.iter_nodes("b")  # bulk path honours crash at call time too
         mp.recover()
         mp.put_node(node())
+
+    def test_iter_nodes_matches_list_nodes(self):
+        mp = MetadataProvider(0)
+        n1, n2 = node(version=1), node(version=2)
+        mp.put_node(n1)
+        mp.put_node(n2)
+        mp.put_node(node(blob="other"))
+        assert {n.key for n in mp.iter_nodes("b")} == set(mp.list_nodes("b"))
 
     def test_rpc_dispatch(self):
         mp = MetadataProvider(0)

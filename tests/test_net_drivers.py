@@ -77,6 +77,24 @@ class TestEquivalence:
         assert self.run_threaded() == expected
         assert tuple(self.run_sim()) == expected
 
+    def test_empty_batch_yields_empty_results(self):
+        """Batch([]) resumes the protocol with [] on every driver."""
+
+        def proto():
+            results = yield Batch([])
+            return results
+
+        driver = InprocDriver({("c", 0): Counter()})
+        assert driver.run(proto()) == []
+
+        sim = Simulator()
+        net = Network(sim, ClusterSpec())
+        ex = SimRpcExecutor(sim, net)
+        client = net.add_node("client", role="client")
+        ex.register(("c", 0), Counter(), net.add_node("s0"))
+        proc = sim.process(ex.run_protocol(proto(), client))
+        assert sim.run(until=proc) == []
+
 
 class TestThreadedDriver:
     def test_aggregation_one_rpc_per_destination(self):

@@ -110,6 +110,101 @@ class TestStats:
         assert c.hits == 0 and c.misses == 0
 
 
+class TestCountersAndPolicy:
+    def test_eviction_counter_accumulates(self):
+        c = LRUCache(2)
+        for i in range(6):
+            c.put(i, i)
+        assert c.evictions == 4
+        assert len(c) == 2
+
+    def test_update_existing_never_evicts(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 3)  # refresh, not insert
+        assert c.evictions == 0 and len(c) == 2
+
+    def test_pop_does_not_count_hit_or_miss(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.pop("a")
+        c.pop("zzz")
+        assert c.hits == 0 and c.misses == 0
+
+    def test_pop_frees_capacity(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.pop("a")
+        c.put("c", 3)  # fits without evicting b
+        assert c.evictions == 0
+        assert "b" in c and "c" in c
+
+    def test_iteration_is_lru_to_mru(self):
+        c = LRUCache(3)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("c", 3)
+        c.get("a")  # a becomes most recent
+        assert list(c) == ["b", "c", "a"]
+
+    def test_capacity_property(self):
+        assert LRUCache(7).capacity == 7
+
+    def test_clear_keeps_counters(self):
+        """clear() drops entries; lifetime stats remain for reporting."""
+        c = LRUCache(1)
+        c.put("a", 1)
+        c.get("a")
+        c.put("b", 2)  # evicts a
+        c.clear()
+        assert len(c) == 0
+        assert (c.hits, c.misses, c.evictions) == (1, 0, 1)
+
+
+class TestMetadataCacheStats:
+    """MetadataCache surfaces its LRU's counters for the bench tables."""
+
+    def _node(self, version):
+        from repro.metadata.node import NodeKey, TreeNode
+
+        key = NodeKey("blob", version, 0, 4096)
+        return TreeNode(key=key, providers=(0,), write_uid=f"w{version}")
+
+    def test_stats_track_gets(self):
+        from repro.metadata.cache import MetadataCache
+
+        cache = MetadataCache(capacity=4)
+        node = self._node(1)
+        cache.put(node)
+        assert cache.get(node.key) is node
+        assert cache.get(self._node(9).key) is None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_ratio == 0.5
+
+    def test_len_contains_and_clear(self):
+        from repro.metadata.cache import MetadataCache
+
+        cache = MetadataCache(capacity=4)
+        node = self._node(1)
+        cache.put(node)
+        assert len(cache) == 1 and node.key in cache
+        cache.clear()
+        assert len(cache) == 0 and node.key not in cache
+
+    def test_eviction_bounded_by_capacity(self):
+        from repro.metadata.cache import MetadataCache
+
+        cache = MetadataCache(capacity=2)
+        nodes = [self._node(v) for v in (1, 2, 3)]
+        for node in nodes:
+            cache.put(node)
+        assert len(cache) == 2
+        assert nodes[0].key not in cache  # LRU evicted
+        assert nodes[2].key in cache
+
+
 @given(
     st.lists(
         st.tuples(st.sampled_from("pg"), st.integers(min_value=0, max_value=20)),

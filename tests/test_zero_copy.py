@@ -1,0 +1,135 @@
+"""Zero-copy page handling: split -> store -> fetch without materializing.
+
+``split_pages`` keeps memoryview slices of the caller's buffer, the data
+provider stores the payload object as-is, and a fetched page still shares
+the original memory. Pages are write-once/immutable downstream, which is
+what makes the sharing safe (the same argument that makes lock-free reads
+safe in the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DeploymentSpec
+from repro.core.protocol import split_pages
+from repro.deploy.inproc import build_inproc
+from repro.providers.data_provider import DataProvider
+from repro.providers.page import PageKey, PagePayload
+
+PAGE = 4096
+
+
+class TestSplitPagesZeroCopy:
+    def test_slices_share_the_source_buffer(self):
+        data = bytes(range(256)) * 48  # 3 pages
+        payloads = split_pages(data, PAGE)
+        assert len(payloads) == 3
+        for p in payloads:
+            assert type(p.data) is memoryview
+            # .obj is the buffer a memoryview was sliced from: no copy made
+            assert p.data.obj is data
+
+    def test_contents_are_correct_views(self):
+        data = b"a" * PAGE + b"b" * PAGE
+        first, second = split_pages(data, PAGE)
+        assert first.as_bytes() == b"a" * PAGE
+        assert second.as_bytes() == b"b" * PAGE
+        assert first.nbytes == second.nbytes == PAGE
+
+    def test_payload_equality_across_representations(self):
+        view = memoryview(b"xyzw")
+        assert PagePayload.real(view) == PagePayload.real(b"xyzw")
+
+
+class TestPagePayloadSources:
+    def test_bytes_kept_as_is(self):
+        data = b"q" * 64
+        assert PagePayload.real(data).data is data
+
+    def test_memoryview_kept_as_is(self):
+        view = memoryview(b"q" * 64)
+        assert PagePayload.real(view).data is view
+
+    def test_bytearray_is_snapshotted(self):
+        """Mutable sources must be copied: published pages are immutable."""
+        buf = bytearray(b"mutable!")
+        payload = PagePayload.real(buf)
+        buf[0:1] = b"X"
+        assert payload.as_bytes() == b"mutable!"
+
+    def test_writable_memoryview_is_snapshotted(self):
+        """A view over a mutable buffer aliases it — must be copied too."""
+        buf = bytearray(b"A" * 8)
+        payload = PagePayload.real(memoryview(buf)[0:4])
+        buf[0:4] = b"ZZZZ"
+        assert payload.as_bytes() == b"AAAA"
+
+    def test_readonly_view_over_mutable_buffer_is_snapshotted(self):
+        """toreadonly() hides writes through the view, not through the
+        underlying bytearray — the base's mutability is what matters."""
+        buf = bytearray(b"A" * 8)
+        payload = PagePayload.real(memoryview(buf).toreadonly()[0:4])
+        buf[0:4] = b"ZZZZ"
+        assert payload.as_bytes() == b"AAAA"
+
+    def test_non_byte_itemsize_view_is_snapshotted_with_byte_length(self):
+        import array
+
+        view = memoryview(array.array("i", [7] * 16))
+        payload = PagePayload.real(view)
+        assert payload.nbytes == view.nbytes == 64
+        assert len(payload.as_bytes()) == 64
+
+    def test_split_pages_of_bytearray_does_not_alias(self):
+        buf = bytearray(b"A" * (2 * PAGE))
+        pages = split_pages(buf, PAGE)  # type: ignore[arg-type]
+        buf[0:PAGE] = b"Z" * PAGE
+        assert pages[0].as_bytes() == b"A" * PAGE
+
+
+class TestProviderPassthrough:
+    def test_put_get_preserve_the_payload_object(self):
+        data = b"d" * (2 * PAGE)
+        payloads = split_pages(data, PAGE)
+        dp = DataProvider(0)
+        for i, payload in enumerate(payloads):
+            dp.put_page(PageKey("blob", "w1", i), payload)
+        for i, payload in enumerate(payloads):
+            fetched = dp.get_page(PageKey("blob", "w1", i))
+            assert fetched is payload  # no copy anywhere in the store
+            assert fetched.data.obj is data  # still the caller's buffer
+
+    def test_bytes_stored_accounting_uses_view_length(self):
+        dp = DataProvider(0)
+        dp.put_page(PageKey("b", "w", 0), split_pages(bytes(PAGE), PAGE)[0])
+        assert dp.bytes_stored == PAGE
+
+
+class TestEndToEndWrite:
+    def test_written_pages_share_client_buffer_until_read(self):
+        """Full WRITE path: pages land on providers as views of the input."""
+        dep = build_inproc(DeploymentSpec(n_data=2, n_meta=2))
+        client = dep.client("zc")
+        blob = client.alloc(total_size=1 << 20, pagesize=PAGE)
+        data = b"Z" * (4 * PAGE)
+        client.write(blob, data, offset=0)
+        stored = [
+            payload
+            for provider in dep.data.values()
+            for payload in provider._pages.values()
+        ]
+        assert len(stored) == 4
+        for payload in stored:
+            assert type(payload.data) is memoryview
+            assert payload.data.obj is data
+        # and a READ still returns the right bytes
+        assert client.read_bytes(blob, 0, 4 * PAGE) == data
+
+    def test_read_assembly_handles_view_payloads(self):
+        dep = build_inproc(DeploymentSpec(n_data=2, n_meta=2))
+        client = dep.client("zc2")
+        blob = client.alloc(total_size=1 << 20, pagesize=PAGE)
+        client.write(blob, b"A" * PAGE + b"B" * PAGE, offset=0)
+        # sub-page read crosses the page boundary: slices views on assembly
+        assert client.read_bytes(blob, PAGE - 2, 4) == b"AABB"
