@@ -33,6 +33,10 @@ RESULT_SCHEMA_VERSION = 1
 
 #: wall-clock increases below this fraction are considered noise
 DEFAULT_WALL_TOLERANCE = 0.25
+#: baselines shorter than this many seconds skip the wall-clock ratio test:
+#: on sub-second benches scheduler noise alone produces multi-x ratios, so
+#: a ratio tripwire only reads signal from durations above the floor
+DEFAULT_WALL_FLOOR = 1.0
 #: relative tolerance for simulated series values (should be bit-stable)
 DEFAULT_SERIES_RTOL = 1e-9
 
@@ -121,6 +125,7 @@ def compare_results(
     new: dict[str, dict[str, Any]],
     wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
     series_rtol: float = DEFAULT_SERIES_RTOL,
+    wall_floor: float = DEFAULT_WALL_FLOOR,
 ) -> Comparison:
     """Diff two result sets (as returned by :func:`load_results`)."""
     comparison = Comparison()
@@ -134,9 +139,10 @@ def compare_results(
             continue
         o, n = old[name], new[name]
 
-        # wall-clock trajectory
+        # wall-clock trajectory (skipped below the floor: ratios computed
+        # from sub-second baselines are scheduler noise, not regressions)
         ow, nw = o.get("wall_clock_s"), n.get("wall_clock_s")
-        if ow and nw:
+        if ow and nw and ow >= wall_floor:
             ratio = nw / ow
             if ratio > 1 + wall_tolerance:
                 add(
@@ -223,6 +229,7 @@ def compare_dirs(
     new_dir: str | Path,
     wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
     series_rtol: float = DEFAULT_SERIES_RTOL,
+    wall_floor: float = DEFAULT_WALL_FLOOR,
 ) -> Comparison:
     """Load and diff two result directories."""
     return compare_results(
@@ -230,6 +237,7 @@ def compare_dirs(
         load_results(new_dir),
         wall_tolerance=wall_tolerance,
         series_rtol=series_rtol,
+        wall_floor=wall_floor,
     )
 
 
@@ -256,6 +264,14 @@ def main(argv: list[str] | None = None) -> int:
         help="relative tolerance for simulated series drift "
         f"(default {DEFAULT_SERIES_RTOL})",
     )
+    parser.add_argument(
+        "--wall-floor",
+        type=float,
+        default=DEFAULT_WALL_FLOOR,
+        help="skip wall-clock comparison when the baseline ran shorter "
+        f"than this many seconds (default {DEFAULT_WALL_FLOOR}; sub-second "
+        "ratios are scheduler noise)",
+    )
     args = parser.parse_args(argv)
     try:
         comparison = compare_dirs(
@@ -263,6 +279,7 @@ def main(argv: list[str] | None = None) -> int:
             args.new_dir,
             wall_tolerance=args.wall_tolerance,
             series_rtol=args.series_rtol,
+            wall_floor=args.wall_floor,
         )
     except (FileNotFoundError, json.JSONDecodeError) as exc:
         print(f"error: {exc}")

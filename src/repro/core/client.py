@@ -157,6 +157,31 @@ class BlobClient:
         assert result.data is not None
         return result.data
 
+    def read_into(
+        self,
+        blob_id: str,
+        out: bytearray | memoryview,
+        offset: int,
+        version: int = LATEST,
+    ) -> ReadResult:
+        """READ ``len(out)`` bytes at ``offset`` straight into ``out``.
+
+        Zero-copy assembly: provider pages are scattered into the caller's
+        buffer via memoryview slices — no intermediate ``bytes`` objects
+        are built from payloads. ``ReadResult.data`` is a memoryview over
+        ``out`` (so ``.data.obj is out``); the stored pages themselves are
+        never aliased by ``out``, so mutating the buffer afterwards cannot
+        disturb any published snapshot.
+        """
+        geom = self.open(blob_id)
+        size = memoryview(out).nbytes
+        return self.driver.run(
+            read_protocol(
+                blob_id, geom, offset, size, self.router,
+                version=version, cache=self.cache, out=out,
+            )
+        )
+
     # -- garbage collection ------------------------------------------------
 
     def gc(

@@ -26,6 +26,7 @@ class DiskSpill:
         self.root.mkdir(parents=True, exist_ok=True)
         self.stores = 0
         self.loads = 0
+        self.bytes_spilled = 0
 
     def _path(self, key: PageKey) -> Path:
         digest = hashlib.sha1(
@@ -38,9 +39,16 @@ class DiskSpill:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".tmp")
-        tmp.write_bytes(payload.as_bytes())
+        # Zero-copy spill: a real payload's bytes/memoryview is handed to
+        # the file layer as-is (write() accepts any buffer), so a page that
+        # arrived as a view of the writer's buffer goes caller-buffer ->
+        # disk with no intermediate materialization. Only virtual payloads
+        # manufacture bytes (their zeros exist nowhere yet).
+        view = payload.view()
+        tmp.write_bytes(view if view is not None else bytes(payload.nbytes))
         os.replace(tmp, path)  # atomic publish: readers never see torn pages
         self.stores += 1
+        self.bytes_spilled += payload.nbytes
 
     def load(self, key: PageKey) -> PagePayload | None:
         path = self._path(key)

@@ -70,14 +70,20 @@ class WriteResult:
 
 @dataclass(frozen=True, slots=True)
 class ReadResult:
-    """Outcome of one READ."""
+    """Outcome of one READ.
+
+    ``data`` is ``bytes`` for plain reads (aliasing the stored page
+    zero-copy when a single immutable page exactly covers the request), a
+    ``memoryview`` over the caller's buffer for ``out=``-reads, and
+    ``None`` for virtual reads.
+    """
 
     blob_id: str
     version: int  # effective snapshot read
     latest: int  # the paper's vr (latest published at read time)
     offset: int
     size: int
-    data: bytes | None  # None for virtual reads
+    data: bytes | memoryview | None
     nodes_fetched: int
     cache_hits: int
     pages_fetched: int
@@ -218,6 +224,7 @@ def read_protocol(
     version: int = LATEST,
     cache: MetadataCache | None = None,
     with_data: bool = True,
+    out: Any | None = None,
     trace: dict[str, float] | None = None,
 ) -> Proto:
     """The READ of paper §III.B; returns a :class:`ReadResult`.
@@ -225,12 +232,32 @@ def read_protocol(
     ``with_data=False`` runs the full metadata + page protocol but skips
     byte assembly (simulation benches; virtual payloads).
 
+    ``out`` is an optional caller-supplied writable buffer (``bytearray``
+    or writable ``memoryview``) of at least ``size`` bytes: provider pages
+    are scattered straight into it via memoryview slices — zero
+    intermediate copies — and ``ReadResult.data`` is a view over ``out``
+    trimmed to ``size``.
+
     When ``trace`` is supplied it is filled with phase timestamps
     (``start``, ``version_resolved``, ``metadata_read``, ``pages_read``,
     ``done``). Figure 3(a) plots ``metadata_read - version_resolved``
     (the complete tree descent).
     """
     req = geom.check_bounds(offset, size)
+    dst: memoryview | None = None
+    if out is not None:
+        if not with_data:
+            raise ValueError("out buffer requires with_data=True")
+        dst = memoryview(out)
+        if dst.ndim != 1 or dst.itemsize != 1:
+            dst = dst.cast("B")
+        if dst.readonly:
+            raise ValueError("out buffer must be writable")
+        if dst.nbytes < size:
+            raise ValueError(
+                f"out buffer of {dst.nbytes} B cannot hold a {size} B read"
+            )
+        dst = dst[:size]
 
     def mark(name: str):
         if trace is not None:
@@ -247,7 +274,11 @@ def read_protocol(
     effective, latest = resolved
     if effective == 0:
         # Version 0 is the implicit all-zero string: nothing to fetch.
-        data = bytes(size) if with_data else None
+        if dst is not None:
+            _zero_range(dst, 0, size)
+            data = dst
+        else:
+            data = bytes(size) if with_data else None
         return ReadResult(
             blob_id, 0, latest, offset, size, data,
             nodes_fetched=0, cache_hits=0, pages_fetched=0, zero_bytes=size,
@@ -302,19 +333,28 @@ def read_protocol(
         yield Compute("client.touch_page", len(leaves))
     yield from mark("pages_read")
 
-    # 4. assemble the requested byte range
+    # 4. assemble the requested byte range (zero payload copies: see
+    # assemble_read; a fresh-bytes materialization happens only when the
+    # caller asked for immutable bytes that more than one page must feed)
     data = None
-    if with_data:
-        buf = bytearray(size)  # zero-filled: version-0 regions need no work
-        for leaf, payload in zip(leaves, payloads):
-            if payload.is_virtual:
-                continue
-            iv = leaf.interval
-            src_lo = max(0, req.offset - iv.offset)
-            src_hi = min(iv.size, req.end - iv.offset)
-            dst_lo = iv.offset + src_lo - req.offset
-            buf[dst_lo : dst_lo + (src_hi - src_lo)] = payload.data[src_lo:src_hi]
-        data = bytes(buf)
+    if dst is not None:
+        if zero_bytes or any(p.is_virtual for p in payloads):
+            # the caller's buffer may be dirty: zero exactly the regions
+            # no real payload will cover (never the whole buffer — a huge
+            # read with one unwritten page must not pay a full rewrite)
+            _zero_uncovered(req, leaves, payloads, dst)
+        assemble_read(req, leaves, payloads, dst)
+        data = dst
+    elif with_data:
+        single = _single_full_page(req, leaves, payloads) if not zero_bytes else None
+        if single is not None:
+            # one immutable page exactly covers the request: alias it
+            # (write-once pages can never change under the reader)
+            data = single
+        else:
+            buf = bytearray(size)  # zero-filled: version-0 regions need no work
+            assemble_read(req, leaves, payloads, memoryview(buf))
+            data = bytes(buf)
     yield from mark("done")
     return ReadResult(
         blob_id=blob_id,
@@ -328,6 +368,93 @@ def read_protocol(
         pages_fetched=len(leaves),
         zero_bytes=zero_bytes,
     )
+
+
+# ---------------------------------------------------------------------------
+# zero-copy READ assembly
+# ---------------------------------------------------------------------------
+
+
+def assemble_read(
+    req: Interval, leaves: Sequence[TreeNode], payloads: Sequence[PagePayload], dst: memoryview
+) -> int:
+    """Scatter fetched page payloads into ``dst`` (a writable byte view of
+    ``req.size`` bytes) with **zero payload copies**: each real payload is
+    sliced as a memoryview and written straight into place — no
+    intermediate ``bytes`` objects, no joins. Virtual payloads are skipped
+    (the caller pre-zeroes gapped buffers). Returns payload bytes written.
+    """
+    written = 0
+    req_offset = req.offset
+    req_end = req.end
+    for leaf, payload in zip(leaves, payloads):
+        src = payload.view()
+        if src is None:
+            continue
+        iv = leaf.interval
+        src_lo = max(0, req_offset - iv.offset)
+        src_hi = min(iv.size, req_end - iv.offset)
+        if src_hi <= src_lo:
+            continue
+        dst_lo = iv.offset + src_lo - req_offset
+        dst[dst_lo : dst_lo + (src_hi - src_lo)] = src[src_lo:src_hi]
+        written += src_hi - src_lo
+    return written
+
+
+#: shared all-zero block for gap filling: ≤ one page-sized slice per gap
+#: chunk instead of a request-sized throwaway bytes object
+_ZEROS = memoryview(bytes(64 * 1024))
+
+
+def _zero_range(dst: memoryview, lo: int, hi: int) -> None:
+    chunk = len(_ZEROS)
+    while lo < hi:
+        n = min(chunk, hi - lo)
+        dst[lo : lo + n] = _ZEROS[:n]
+        lo += n
+
+
+def _zero_uncovered(
+    req: Interval, leaves: Sequence[TreeNode], payloads: Sequence[PagePayload], dst: memoryview
+) -> None:
+    """Zero exactly the bytes of ``dst`` that no real payload will cover:
+    version-0 gaps plus regions backed by virtual payloads."""
+    spans: list[tuple[int, int]] = []
+    req_offset = req.offset
+    req_end = req.end
+    for leaf, payload in zip(leaves, payloads):
+        if payload.data is None:
+            continue
+        iv = leaf.interval
+        lo = max(iv.offset, req_offset) - req_offset
+        hi = min(iv.end, req_end) - req_offset
+        if hi > lo:
+            spans.append((lo, hi))
+    spans.sort()
+    cursor = 0
+    for lo, hi in spans:
+        if lo > cursor:
+            _zero_range(dst, cursor, lo)
+        if hi > cursor:
+            cursor = hi
+    _zero_range(dst, cursor, req.size)
+
+
+def _single_full_page(
+    req: Interval, leaves: Sequence[TreeNode], payloads: Sequence[PagePayload]
+) -> bytes | None:
+    """The stored ``bytes`` object itself when exactly one immutable page
+    covers the whole request (the zero-copy plain-read fast path), else
+    ``None``. Memoryview payloads still materialize here because plain
+    reads promise immutable ``bytes``."""
+    if len(leaves) != 1:
+        return None
+    payload = payloads[0]
+    if payload.data is None or leaves[0].interval != req:
+        return None
+    data = payload.data
+    return data if type(data) is bytes else bytes(data)
 
 
 # ---------------------------------------------------------------------------
@@ -421,6 +548,10 @@ def split_pages(data: bytes, pagesize: int) -> list[PagePayload]:
         raise ValueError(
             f"buffer of {len(data)} B is not a whole number of {pagesize} B pages"
         )
+    if len(data) == pagesize and type(data) is bytes:
+        # single whole page: store the caller's bytes object itself, which
+        # lets a full-page READ later alias it end to end with zero copies
+        return [PagePayload.real(data)]
     view = memoryview(data)
     return [
         PagePayload.real(view[i : i + pagesize])

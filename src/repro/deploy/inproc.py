@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.core.client import BlobClient
 from repro.core.config import DeploymentSpec
-from repro.metadata.provider import MetadataProvider
+from repro.metadata.provider import MetadataProvider, blob_nodes
 from repro.metadata.router import StaticRouter
 from repro.net.inproc import InprocDriver
 from repro.providers.data_provider import DataProvider
@@ -51,6 +51,12 @@ class InprocDeployment:
 
     def total_nodes_stored(self) -> int:
         return sum(p.node_count for p in self.meta.values())
+
+    def blob_nodes(self, blob_id: str) -> list:
+        """Every stored tree node of a blob across all metadata providers
+        (inspection surface shared with the other deployments; the
+        cross-driver conformance suite compares these)."""
+        return blob_nodes(self.meta.values(), blob_id)
 
     def add_data_provider(self, spill=None) -> int:
         """A provider joining the running system (paper: providers may

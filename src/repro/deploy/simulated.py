@@ -21,7 +21,7 @@ from repro.core.protocol import (
     write_protocol,
 )
 from repro.metadata.cache import MetadataCache
-from repro.metadata.provider import MetadataProvider
+from repro.metadata.provider import MetadataProvider, blob_nodes
 from repro.metadata.router import StaticRouter
 from repro.metadata.tree import TreeGeometry
 from repro.net.simdriver import SimRpcExecutor
@@ -133,11 +133,7 @@ class SimDeployment:
         Setup/inspection helper (zero simulated time); computed fresh on
         each call so it always reflects the current store.
         """
-        return [
-            node
-            for provider in self.meta.values()
-            for node in provider.iter_nodes(blob_id)
-        ]
+        return blob_nodes(self.meta.values(), blob_id)
 
     def warm_client_cache(self, client: "SimClient", blob_id: str) -> int:
         """Fill a client's metadata cache with every stored node of a blob.

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.core.client import BlobClient
 from repro.core.config import DeploymentSpec
-from repro.metadata.provider import MetadataProvider
+from repro.metadata.provider import MetadataProvider, blob_nodes
 from repro.metadata.router import StaticRouter
 from repro.net.threaded import ThreadedDriver
 from repro.providers.data_provider import DataProvider
@@ -49,6 +49,19 @@ class ThreadedDeployment:
     @property
     def meta_ids(self) -> list[int]:
         return sorted(self.meta)
+
+    def total_pages_stored(self) -> int:
+        return sum(p.page_count for p in self.data.values())
+
+    def blob_nodes(self, blob_id: str) -> list:
+        """Every stored tree node of a blob across all metadata providers
+        (inspection surface shared with the other deployments; the
+        cross-driver conformance suite compares these)."""
+        return blob_nodes(self.meta.values(), blob_id)
+
+    def transport_stats(self) -> dict[str, int]:
+        """Batched-transport counters (see ThreadedDriver.transport_stats)."""
+        return self.driver.transport_stats()
 
     def close(self) -> None:
         self.driver.close()

@@ -126,3 +126,18 @@ class MetadataProvider:
         if method == "meta.stats":
             return self.stats()
         raise ValueError(f"metadata provider: unknown method {method!r}")
+
+
+def blob_nodes(
+    providers: Iterable[MetadataProvider], blob_id: str
+) -> list[TreeNode]:
+    """Every stored node of a blob across a set of metadata providers.
+
+    The one definition of "the blob's metadata tree, as stored" shared by
+    all three deployments' ``blob_nodes`` methods — the cross-driver
+    conformance suite compares its output across deployments, so the
+    iteration semantics must not be allowed to drift per deployment.
+    """
+    return [
+        node for provider in providers for node in provider.iter_nodes(blob_id)
+    ]

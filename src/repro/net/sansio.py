@@ -34,6 +34,7 @@ from typing import (
     Mapping,
     NamedTuple,
     Protocol as TypingProtocol,
+    Sequence,
     TypeVar,
     Union,
 )
@@ -105,6 +106,68 @@ class Mark:
 
 Op = Union[Batch, Compute, Mark]
 Protocol = Generator[Op, Any, T]
+
+
+class WireGroup(NamedTuple):
+    """One wire RPC: the sub-calls bound for a single destination.
+
+    ``indices`` maps each sub-call back to its slot in the originating
+    batch (``results[indices[k]] = value_of(calls[k])``); the single-group
+    fast path uses a ``range``, which zips just like a list.
+    """
+
+    dest: Address
+    calls: list[Call]
+    indices: Sequence[int]
+
+
+def plan_wire_groups(
+    calls: Sequence[Call], aggregate: bool = True
+) -> list[WireGroup]:
+    """Frame a batch's sub-calls into wire RPCs, one per destination.
+
+    This is the aggregating RPC framework of the paper (§V.A) as a shared,
+    driver-agnostic planning step: the threaded and simulated drivers both
+    execute exactly the groups returned here, so "one queue submission /
+    one simulated message per destination" is a property of this function,
+    not of each driver separately. With ``aggregate=False`` every sub-call
+    becomes its own wire RPC (the paper's no-aggregation ablation).
+
+    The common shapes never build the grouping dict: an empty batch, a
+    single call, and an all-one-destination batch are recognized with one
+    scan. Group order is first-occurrence order of each destination, which
+    keeps simulated schedules (and therefore benchmark series) identical
+    to per-driver grouping.
+    """
+    n = len(calls)
+    if n == 0:
+        return []
+    first_dest = calls[0].dest
+    if n == 1:
+        return [WireGroup(first_dest, list(calls), range(1))]
+    if not aggregate:
+        return [
+            WireGroup(call.dest, [call], (index,))
+            for index, call in enumerate(calls)
+        ]
+    single_dest = True
+    for call in calls:
+        if call.dest != first_dest:
+            single_dest = False
+            break
+    if single_dest:
+        return [WireGroup(first_dest, list(calls), range(n))]
+    grouped: dict[Address, tuple[list[Call], list[int]]] = {}
+    for index, call in enumerate(calls):
+        entry = grouped.get(call.dest)
+        if entry is None:
+            entry = grouped[call.dest] = ([], [])
+        entry[0].append(call)
+        entry[1].append(index)
+    return [
+        WireGroup(dest, group_calls, indices)
+        for dest, (group_calls, indices) in grouped.items()
+    ]
 
 
 class Actor(TypingProtocol):

@@ -46,6 +46,7 @@ from repro.net.sansio import (
     Protocol,
     deliver,
     dispatch_call,
+    plan_wire_groups,
 )
 from repro.sim.engine import Event, Simulator
 from repro.sim.network import Network, SimNode
@@ -111,59 +112,31 @@ class SimRpcExecutor:
     ) -> Generator[Event, Any, list[Any]]:
         # One wire RPC per destination (the aggregating framework of paper
         # §V.A); with aggregation disabled every sub-call pays full freight.
+        # Framing is shared with the threaded driver: both execute exactly
+        # the groups `plan_wire_groups` plans.
         calls = batch.calls
         if not calls:
             return []
-        aggregate = self.spec.aggregate
+        groups = plan_wire_groups(calls, self.spec.aggregate)
 
-        # Fast path: one call, or every call bound for the same destination
-        # under aggregation — no group bookkeeping, no fan-out machinery.
-        first_dest = calls[0].dest
-        single_dest = True
-        if len(calls) > 1:
-            if aggregate:
-                for c in calls:
-                    if c.dest != first_dest:
-                        single_dest = False
-                        break
-            else:
-                single_dest = False
-        if single_dest:
-            values = yield from self._execute_group(
-                client_node, first_dest, list(calls)
-            )
+        # Fast path: a single wire RPC — no fan-out machinery, and the
+        # identity index map means results come back already in call order.
+        if len(groups) == 1:
+            dest, group_calls, _ = groups[0]
+            values = yield from self._execute_group(client_node, dest, group_calls)
             return [deliver(c, v) for c, v in zip(calls, values)]
 
-        groups: dict[Any, tuple[list[Call], list[int]]] = {}
-        for index, call in enumerate(calls):
-            group_key = call.dest if aggregate else (call.dest, index)
-            entry = groups.get(group_key)
-            if entry is None:
-                entry = groups[group_key] = ([], [])
-            entry[0].append(call)
-            entry[1].append(index)
+        # Counter-based fan-out: one Join event drives every group
+        # generator in place of a Process + AllOf per destination.
         results: list[Any] = [None] * len(calls)
-        if len(groups) == 1:
-            ((_, (group_calls, indices)),) = groups.items()
-            values = yield from self._execute_group(
-                client_node, group_calls[0].dest, group_calls
-            )
-            for index, value in zip(indices, values):
+        gens = [
+            self._execute_group(client_node, dest, group_calls)
+            for dest, group_calls, _ in groups
+        ]
+        all_values = yield self.sim.join(gens)
+        for group, values in zip(groups, all_values):
+            for index, value in zip(group.indices, values):
                 results[index] = value
-        else:
-            # Counter-based fan-out: one Join event drives every group
-            # generator in place of a Process + AllOf per destination.
-            order: list[list[int]] = []
-            gens = []
-            for group_calls, indices in groups.values():
-                gens.append(
-                    self._execute_group(client_node, group_calls[0].dest, group_calls)
-                )
-                order.append(indices)
-            all_values = yield self.sim.join(gens)
-            for indices, values in zip(order, all_values):
-                for index, value in zip(indices, values):
-                    results[index] = value
         return [deliver(c, r) for c, r in zip(calls, results)]
 
     def _execute_group(

@@ -1,4 +1,4 @@
-"""Real-thread driver: one service thread per actor, queue transports.
+"""Real-thread driver: one service thread per actor, batched queue transports.
 
 This driver exists to demonstrate the paper's concurrency claims with real
 parallelism (not simulated time): each actor — data provider, metadata
@@ -11,6 +11,16 @@ no internal locking; the *only* serialization point in the whole data path
 is the version manager's service queue — which is precisely the design the
 paper argues for. Throughput numbers from this driver are not meaningful
 under the GIL (see DESIGN.md); correctness under concurrency is.
+
+Transport batching mirrors the simulated driver: both execute exactly the
+wire groups planned by :func:`repro.net.sansio.plan_wire_groups`, so a
+batch costs **one queue submission per destination** (one inbox item
+carrying all of that destination's sub-calls) and **at most one completion
+wakeup per batch** (the last destination to finish notifies the waiting
+caller; every other destination only decrements a counter). Caller threads
+reuse a thread-local :class:`_BatchLatch` across batches, so the hot path
+allocates no locks, conditions or events per batch. The counters exposed by
+:meth:`ThreadedDriver.transport_stats` make these bounds testable.
 """
 
 from __future__ import annotations
@@ -25,41 +35,79 @@ from repro.net.sansio import (
     Actor,
     Address,
     Batch,
-    Call,
     Compute,
     Mark,
     Protocol,
     deliver,
     dispatch_call,
+    plan_wire_groups,
 )
 from repro.errors import ReproError
 
 _SHUTDOWN = object()
 
 
-class _Completion:
-    """Latch counting outstanding wire RPCs of one batch."""
+class _BatchLatch:
+    """Reusable countdown latch owned by one caller thread.
 
-    __slots__ = ("_cond", "_pending")
+    A caller thread executes one batch at a time, so the same latch (and
+    its single lock) serves every batch that thread ever runs: ``begin``
+    arms it before any submission, service threads call ``group_done``
+    once per wire group, and only the final decrement pays a ``notify``.
 
-    def __init__(self, pending: int) -> None:
+    Every batch gets a fresh generation number, carried by its inbox items
+    and handed back by ``group_done``: if a caller unwinds out of ``wait``
+    (e.g. KeyboardInterrupt) with groups still queued, the next ``begin``
+    bumps the generation and the stale groups' completions are ignored
+    instead of corrupting the new batch's countdown. (Their result writes
+    land in the abandoned batch's results list, which nobody reads.)
+
+    The latch also accumulates the owning thread's transport counters;
+    :meth:`ThreadedDriver.transport_stats` sums them across threads.
+    """
+
+    __slots__ = (
+        "_cond", "_pending", "_gen", "owner", "batches", "submissions", "wakeups"
+    )
+
+    def __init__(self) -> None:
         self._cond = threading.Condition()
-        self._pending = pending
+        self._pending = 0
+        self._gen = 0
+        self.owner = threading.current_thread()
+        self.batches = 0  # batches executed by the owning thread
+        self.submissions = 0  # inbox items enqueued (== wire RPCs issued)
+        self.wakeups = 0  # condition notifies (≤ 1 per batch)
 
-    def one_done(self) -> None:
+    def begin(self, n_groups: int) -> int:
+        """Arm for a new batch; returns the batch's generation stamp."""
         with self._cond:
+            self._gen += 1
+            self._pending = n_groups
+        self.batches += 1
+        self.submissions += n_groups
+        return self._gen
+
+    def group_done(self, gen: int) -> None:
+        with self._cond:
+            if gen != self._gen:
+                return  # completion of an abandoned batch: ignore
             self._pending -= 1
             if self._pending <= 0:
-                self._cond.notify_all()
+                self.wakeups += 1
+                self._cond.notify()
 
     def wait(self) -> None:
         with self._cond:
             while self._pending > 0:
                 self._cond.wait()
 
+    def stats(self) -> tuple[int, int, int]:
+        return (self.batches, self.submissions, self.wakeups)
+
 
 class _ServerThread:
-    """Service loop for one actor: processes aggregated call groups FIFO."""
+    """Service loop for one actor: processes aggregated wire groups FIFO."""
 
     def __init__(self, address: Address, actor: Actor) -> None:
         self.address = address
@@ -77,13 +125,13 @@ class _ServerThread:
             item = self.inbox.get()
             if item is _SHUTDOWN:
                 return
-            calls, indices, results, completion = item
+            calls, indices, results, latch, gen = item
             # One inbox item == one wire RPC carrying aggregated sub-calls.
             self.served_rpcs += 1
+            self.served_calls += len(calls)
             for call, index in zip(calls, indices):
                 results[index] = dispatch_call(self.actor, call)
-                self.served_calls += 1
-            completion.one_done()
+            latch.group_done(gen)
 
     def stop(self) -> None:
         self.inbox.put(_SHUTDOWN)
@@ -97,6 +145,10 @@ class ThreadedDriver:
         self._servers: dict[Address, _ServerThread] = {}
         self._closed = False
         self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._latches: list[_BatchLatch] = []
+        # counters folded in from latches of retired caller threads
+        self._retired_stats = [0, 0, 0]
         for address, actor in (registry or {}).items():
             self.register(address, actor)
 
@@ -118,6 +170,56 @@ class ThreadedDriver:
             return {
                 a: (s.served_rpcs, s.served_calls) for a, s in self._servers.items()
             }
+
+    def transport_stats(self) -> dict[str, int]:
+        """Aggregate transport counters across all caller threads.
+
+        - ``batches``: protocol batches executed;
+        - ``queue_submissions``: inbox items enqueued — exactly one per
+          destination per batch, i.e. one per wire RPC;
+        - ``completion_wakeups``: condition notifies — at most one per
+          batch (only the last wire group of a batch notifies).
+
+        Counters survive caller-thread exit (a retired thread's latch is
+        folded into a running total). Read these when caller threads are
+        quiescent; snapshots taken mid-batch may lag by the in-flight
+        batch.
+        """
+        with self._lock:
+            totals = list(self._retired_stats)
+            latches = list(self._latches)
+        for latch in latches:
+            b, s, w = latch.stats()
+            totals[0] += b
+            totals[1] += s
+            totals[2] += w
+        return {
+            "batches": totals[0],
+            "queue_submissions": totals[1],
+            "completion_wakeups": totals[2],
+        }
+
+    def _latch(self) -> _BatchLatch:
+        latch = getattr(self._tls, "latch", None)
+        if latch is None:
+            latch = self._tls.latch = _BatchLatch()
+            with self._lock:
+                # Latch registration is rare (once per caller thread), so
+                # this is the place to retire latches of dead threads —
+                # without it, spawn-per-op usage would grow the registry
+                # one Condition per protocol ever run.
+                alive: list[_BatchLatch] = []
+                for old in self._latches:
+                    if old.owner.is_alive():
+                        alive.append(old)
+                    else:
+                        b, s, w = old.stats()
+                        self._retired_stats[0] += b
+                        self._retired_stats[1] += s
+                        self._retired_stats[2] += w
+                alive.append(latch)
+                self._latches = alive
+        return latch
 
     def run(self, proto: Protocol[Any]) -> Any:
         """Execute a protocol; may be called concurrently from many threads."""
@@ -144,22 +246,28 @@ class ThreadedDriver:
             return stop.value
 
     def _execute_batch(self, batch: Batch) -> list[Any]:
-        # Group sub-calls by destination: one wire RPC per destination,
-        # mirroring the aggregating RPC framework of the paper.
-        groups: dict[Address, tuple[list[Call], list[int]]] = {}
-        for index, call in enumerate(batch.calls):
-            calls, indices = groups.setdefault(call.dest, ([], []))
-            calls.append(call)
-            indices.append(index)
-        results: list[Any] = [None] * len(batch.calls)
-        completion = _Completion(len(groups))
-        for dest, (calls, indices) in groups.items():
-            server = self._servers.get(dest)
+        # Same framing as the simulated driver: one wire RPC (= one queue
+        # submission) per destination. Destinations are resolved before
+        # anything is enqueued so an unknown address cannot leave the latch
+        # armed with groups already in flight.
+        calls = batch.calls
+        if not calls:
+            return []
+        groups = plan_wire_groups(calls)
+        servers = self._servers
+        resolved = []
+        for group in groups:
+            server = servers.get(group.dest)
             if server is None:
-                raise KeyError(f"no actor registered at address {dest!r}")
-            server.inbox.put((calls, indices, results, completion))
-        completion.wait()
-        return [deliver(c, r) for c, r in zip(batch.calls, results)]
+                raise KeyError(f"no actor registered at address {group.dest!r}")
+            resolved.append(server)
+        results: list[Any] = [None] * len(calls)
+        latch = self._latch()
+        gen = latch.begin(len(groups))
+        for server, group in zip(resolved, groups):
+            server.inbox.put((group.calls, group.indices, results, latch, gen))
+        latch.wait()
+        return [deliver(c, r) for c, r in zip(calls, results)]
 
     def spawn(self, proto: Protocol[Any]) -> "ProtocolFuture":
         """Run a protocol on a fresh thread; returns a waitable future."""

@@ -83,6 +83,17 @@ class DataProvider:
         self._check_up()
         return [k for k in self._pages if k.blob_id == blob_id]
 
+    def iter_pages(self, blob_id: str) -> Iterable[tuple[PageKey, PagePayload]]:
+        """``(key, payload)`` for every RAM-resident page of a blob.
+
+        Inspection surface (no RPC, no failure injection): the
+        cross-driver conformance suite uses it to compare stored page
+        contents across deployments.
+        """
+        for key, payload in self._pages.items():
+            if key.blob_id == blob_id:
+                yield key, payload
+
     def evict_to_spill(self) -> int:
         """Drop in-RAM copies that are safely persisted (needs a spill)."""
         if self._spill is None:

@@ -94,6 +94,21 @@ class PagePayload:
             return bytes(self.data)
         return self.data
 
+    def view(self) -> memoryview | None:
+        """Zero-copy view of real contents (``None`` for virtual pages).
+
+        Safe to hand out: :meth:`real` guarantees every stored payload is
+        backed by immutable ``bytes`` (mutable sources are snapshotted), so
+        a view can alias the page without risking mutation — the same
+        write-once argument that makes the paper's lock-free reads safe.
+        """
+        data = self.data
+        if data is None:
+            return None
+        if type(data) is memoryview:
+            return data
+        return memoryview(data)
+
 
 @estimate_size.register
 def _(obj: PagePayload) -> int:

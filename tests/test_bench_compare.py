@@ -67,6 +67,21 @@ class TestCompare:
         new = {"bench_a": _payload(wall=11.5)}  # +15% < default 25% tolerance
         assert compare_results(old, new).ok
 
+    def test_sub_floor_baselines_skip_the_wall_ratio(self):
+        """A 0.05s baseline blowing up 8x is scheduler noise, not a
+        regression: below the floor the ratio tripwire must not fire in
+        either direction (this is what keeps the CI gate honest on hosts
+        slower than the baseline machine)."""
+        old = {"bench_a": _payload(wall=0.05)}
+        new = {"bench_a": _payload(wall=0.42)}
+        comparison = compare_results(old, new)
+        assert comparison.ok
+        assert not any(
+            f.kind in ("regression", "improvement") for f in comparison.findings
+        )
+        # an explicit lower floor restores the comparison
+        assert not compare_results(old, new, wall_floor=0.01).ok
+
     def test_improvement_reported_not_failed(self):
         old = {"bench_a": _payload(wall=20.0)}
         new = {"bench_a": _payload(wall=8.0)}

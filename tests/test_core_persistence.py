@@ -43,6 +43,26 @@ class TestDiskSpill:
             spill.store(PageKey("b", "w", i), PagePayload.real(b"z"))
         assert spill.page_files() == 20
 
+    def test_memoryview_payload_spills_without_materializing(self, tmp_path):
+        """Zero-copy spill: a view payload is written straight from the
+        writer's buffer — file contents are exact and the payload object
+        still holds the original (unmaterialized) view afterwards."""
+        spill = DiskSpill(tmp_path)
+        source = bytes(range(256)) * 16  # 4 KB
+        view = memoryview(source)[1024:2048]
+        payload = PagePayload.real(view)
+        key = PageKey("b", "w", 3)
+        spill.store(key, payload)
+        assert payload.data is view  # store() did not touch the payload
+        assert spill.load(key).as_bytes() == source[1024:2048]
+        assert spill.bytes_spilled == 1024
+
+    def test_bytes_spilled_counts_virtual_payloads_too(self, tmp_path):
+        spill = DiskSpill(tmp_path)
+        spill.store(PageKey("b", "w", 0), PagePayload.virtual(64))
+        spill.store(PageKey("b", "w", 1), PagePayload.real(b"abcd"))
+        assert spill.bytes_spilled == 68
+
 
 class TestProviderWithSpill:
     def test_writes_flow_through(self, tmp_path):

@@ -1,0 +1,467 @@
+"""Cross-driver conformance suite: inproc vs threaded vs simulated.
+
+The paper's claim only holds if the *deployment substrate* is
+interchangeable: the same sans-io WRITE/READ protocols must produce the
+same blobs whether they are dispatched directly (inproc), over real
+per-actor service threads (threaded), or on the discrete-event cluster
+model (simulated). This suite replays identical seeded workloads — built
+once as driver-agnostic composite protocol generators — on all three
+deployments and asserts:
+
+- **serial phase** (deterministic, single client): bit-identical page
+  contents *and placement*, bit-identical metadata trees (every node
+  record), identical version chains (`vm.patches`), and exact
+  read-your-writes / snapshot equality against a reference replay model;
+- **concurrent phase** (N clients, disjoint ranges; real threads on the
+  threaded driver, simulated processes on the simulator, a seeded
+  linearization on inproc): identical page dictionaries (page key ->
+  bytes, placement-independent), identical leaf page references,
+  identical final blob bytes, per-driver prefix-replay serializability
+  of every published snapshot, and monotonic read-your-writes inside
+  every client program.
+
+Everything here is wall-clock bounded: thread joins carry explicit
+timeouts and name the stalled worker instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import DeploymentSpec
+from repro.core.protocol import (
+    alloc_protocol,
+    read_protocol,
+    split_pages,
+    write_protocol,
+)
+from repro.deploy.inproc import build_inproc
+from repro.deploy.simulated import SimDeployment
+from repro.deploy.threaded import build_threaded
+from repro.metadata.tree import TreeGeometry
+from repro.util.sizes import KB
+from repro.version.manager import LATEST
+
+SEED = 0xC04F
+TOTAL = 64 * KB
+PAGE = 4 * KB
+NPAGES = TOTAL // PAGE
+
+N_SERIAL_OPS = 10
+N_CLIENTS = 4
+WRITES_PER_CLIENT = 5
+PAGES_PER_CLIENT = NPAGES // N_CLIENTS
+
+JOIN_TIMEOUT = 120.0
+
+SPEC = DeploymentSpec(n_data=4, n_meta=3, n_clients=N_CLIENTS, cache_capacity=0)
+GEOM = TreeGeometry(TOTAL, PAGE)
+
+
+# ---------------------------------------------------------------------------
+# driver harnesses: uniform "run these composite protocols" facade
+# ---------------------------------------------------------------------------
+
+
+class InprocHarness:
+    name = "inproc"
+
+    def __init__(self) -> None:
+        self.dep = build_inproc(SPEC)
+
+    def run(self, proto):
+        return self.dep.driver.run(proto)
+
+    def run_concurrently(self, factories):
+        """Inproc has no concurrency: execute whole programs in a seeded
+        linearization order (any serial order is a valid linearization of
+        programs touching disjoint ranges)."""
+        order = list(range(len(factories)))
+        random.Random(SEED ^ 0xABCD).shuffle(order)
+        results = [None] * len(factories)
+        for i in order:
+            results[i] = self.dep.driver.run(factories[i]())
+        return results
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadedHarness:
+    name = "threaded"
+
+    def __init__(self) -> None:
+        self.dep = build_threaded(SPEC)
+
+    def run(self, proto):
+        return self.dep.driver.run(proto)
+
+    def run_concurrently(self, factories):
+        futures = [self.dep.driver.spawn(f()) for f in factories]
+        results, stalled = [], []
+        for i, fut in enumerate(futures):
+            try:
+                results.append(fut.result(timeout=JOIN_TIMEOUT))
+            except TimeoutError:
+                stalled.append(f"program-{i}")
+        assert not stalled, f"threaded programs stalled: {stalled}"
+        return results
+
+    def close(self) -> None:
+        self.dep.close()
+
+
+class SimulatedHarness:
+    name = "simulated"
+
+    def __init__(self) -> None:
+        self.dep = SimDeployment(SPEC)
+
+    def run(self, proto):
+        proc = self.dep.sim.process(
+            self.dep.executor.run_protocol(proto, self.dep.client_nodes[0])
+        )
+        return self.dep.sim.run(until=proc)
+
+    def run_concurrently(self, factories):
+        procs = [
+            self.dep.sim.process(
+                self.dep.executor.run_protocol(
+                    f(), self.dep.client_nodes[i % len(self.dep.client_nodes)]
+                )
+            )
+            for i, f in enumerate(factories)
+        ]
+        self.dep.sim.run()
+        return [p.value for p in procs]
+
+    def close(self) -> None:
+        pass
+
+
+def all_harnesses():
+    return [InprocHarness(), ThreadedHarness(), SimulatedHarness()]
+
+
+# ---------------------------------------------------------------------------
+# state fingerprints
+# ---------------------------------------------------------------------------
+
+
+def page_dict(dep, blob_id):
+    """Union of stored pages: page key -> bytes (placement-independent)."""
+    pages = {}
+    for dp in dep.data.values():
+        for key, payload in dp.iter_pages(blob_id):
+            assert key not in pages, f"page {key} stored twice (replication=1)"
+            pages[key] = payload.as_bytes()
+    return pages
+
+
+def page_placements(dep, blob_id):
+    """Stored pages *with* placement: sorted (key, provider_id, bytes)."""
+    return sorted(
+        (key, pid, payload.as_bytes())
+        for pid, dp in dep.data.items()
+        for key, payload in dp.iter_pages(blob_id)
+    )
+
+
+def node_records(dep, blob_id):
+    """Every stored metadata node as a sorted comparable record."""
+    return sorted(
+        (n.key, n.left_version, n.right_version, n.providers, n.write_uid)
+        for n in dep.blob_nodes(blob_id)
+    )
+
+
+def leaf_page_refs(dep, blob_id):
+    """Version-independent leaf references: (write_uid, offset, size)."""
+    return sorted(
+        (n.write_uid, n.key.offset, n.key.size)
+        for n in dep.blob_nodes(blob_id)
+        if n.is_leaf
+    )
+
+
+# ---------------------------------------------------------------------------
+# serial phase: one deterministic client, full bit-equality
+# ---------------------------------------------------------------------------
+
+
+def serial_program(blob_id, router):
+    """Seeded writes, appends and snapshot reads; returns the replay model.
+
+    Driver-agnostic: a composite sans-io generator (write/read protocols
+    chained with plain Python in between) that any driver can execute.
+    Mismatches are collected, not raised, so a failure surfaces as a clean
+    assertion in the test rather than an exception inside a driver loop.
+    """
+    rng = random.Random(SEED)
+    states = [bytes(TOTAL)]  # reference state per version
+    versions = []
+    errors = []
+    hwm = 0  # high-water mark driving append ops
+
+    for step in range(N_SERIAL_OPS):
+        append = hwm < TOTAL and rng.random() < 0.4
+        npages = rng.choice((1, 1, 2, 4))
+        if append:
+            offset = hwm
+            npages = min(npages, (TOTAL - hwm) // PAGE)
+        else:
+            offset = rng.randrange(0, NPAGES - npages + 1) * PAGE
+        data = rng.randbytes(npages * PAGE)
+        hwm = max(hwm, offset + len(data))
+
+        res = yield from write_protocol(
+            blob_id, GEOM, offset, split_pages(data, PAGE), router,
+            f"serial-{step}",
+        )
+        versions.append(res.version)
+        state = bytearray(states[-1])
+        state[offset : offset + len(data)] = data
+        states.append(bytes(state))
+
+        # read-your-writes: this client is alone, so its version is
+        # published on completion and must read back exactly
+        snap = yield from read_protocol(
+            blob_id, GEOM, 0, TOTAL, router, version=res.version
+        )
+        if snap.data != states[res.version]:
+            errors.append(f"step {step}: snapshot v{res.version} mismatch")
+
+        # random historical snapshot, random subrange
+        v = rng.randrange(0, len(states))
+        sz = rng.randrange(1, TOTAL)
+        off = rng.randrange(0, TOTAL - sz)
+        part = yield from read_protocol(
+            blob_id, GEOM, off, sz, router, version=v
+        )
+        if part.data != states[v][off : off + sz]:
+            errors.append(f"step {step}: partial read of v{v} mismatch")
+
+    return {"versions": versions, "states": states, "errors": errors}
+
+
+def _run_serial(harness):
+    blob_id = harness.run(alloc_protocol(TOTAL, PAGE))
+    outcome = harness.run(serial_program(blob_id, harness.dep.router))
+    assert outcome["errors"] == [], f"{harness.name}: {outcome['errors']}"
+    return {
+        "blob_id": blob_id,
+        "outcome": outcome,
+        "patches": harness.dep.vm.patches(blob_id),
+        "latest": harness.dep.vm.get_latest(blob_id),
+        "pages": page_placements(harness.dep, blob_id),
+        "nodes": node_records(harness.dep, blob_id),
+    }
+
+
+def test_serial_workload_bit_identical_across_drivers():
+    results = {}
+    for harness in all_harnesses():
+        try:
+            results[harness.name] = _run_serial(harness)
+        finally:
+            harness.close()
+    ref = results["inproc"]
+    assert ref["latest"] == N_SERIAL_OPS
+    for name in ("threaded", "simulated"):
+        got = results[name]
+        assert got["blob_id"] == ref["blob_id"]
+        assert got["outcome"]["versions"] == ref["outcome"]["versions"]
+        assert got["outcome"]["states"] == ref["outcome"]["states"], (
+            f"{name}: replay states diverged from inproc"
+        )
+        assert got["patches"] == ref["patches"], f"{name}: version chain differs"
+        assert got["latest"] == ref["latest"]
+        assert got["pages"] == ref["pages"], (
+            f"{name}: stored pages (content or placement) differ"
+        )
+        assert got["nodes"] == ref["nodes"], f"{name}: metadata tree differs"
+
+
+# ---------------------------------------------------------------------------
+# concurrent phase: N clients, disjoint ranges, real interleavings
+# ---------------------------------------------------------------------------
+
+
+def client_patch(c: int, k: int) -> tuple[int, bytes]:
+    """Deterministic patch ``k`` of client ``c``: (offset, data).
+
+    Computable out of order so any driver's version assignment can be
+    replayed. Clients own disjoint page ranges; data is a recognizable
+    unique fill."""
+    rng = random.Random(SEED ^ (c * 1009 + k * 9176))
+    base_page = c * PAGES_PER_CLIENT
+    npages = 1 + (k % 2)
+    page = base_page + rng.randrange(0, PAGES_PER_CLIENT - npages + 1)
+    tag = c * WRITES_PER_CLIENT + k + 1
+    data = bytes([tag]) * (npages * PAGE)
+    return page * PAGE, data
+
+
+def own_range_states(c: int) -> list[bytes]:
+    """Client ``c``'s own-range contents after 0..K of its writes."""
+    lo = c * PAGES_PER_CLIENT * PAGE
+    hi = lo + PAGES_PER_CLIENT * PAGE
+    state = bytearray(PAGES_PER_CLIENT * PAGE)
+    out = [bytes(state)]
+    for k in range(WRITES_PER_CLIENT):
+        offset, data = client_patch(c, k)
+        state[offset - lo : offset - lo + len(data)] = data
+        out.append(bytes(state))
+    assert hi - lo == len(state)
+    return out
+
+
+def concurrent_program(blob_id, router, c: int):
+    """Client ``c``: seeded writes to its own range with snapshot checks."""
+
+    def prog():
+        lo = c * PAGES_PER_CLIENT * PAGE
+        span = PAGES_PER_CLIENT * PAGE
+        prefixes = own_range_states(c)
+        got_versions = []
+        errors = []
+        last_prefix = 0
+        for k in range(WRITES_PER_CLIENT):
+            offset, data = client_patch(c, k)
+            res = yield from write_protocol(
+                blob_id, GEOM, offset, split_pages(data, PAGE), router,
+                f"c{c}-k{k}",
+            )
+            got_versions.append(res.version)
+
+            if res.published:
+                # strict read-your-writes: our version is published, so a
+                # snapshot read of it must contain all our k+1 patches
+                snap = yield from read_protocol(
+                    blob_id, GEOM, lo, span, router, version=res.version
+                )
+                if snap.data != prefixes[k + 1]:
+                    errors.append(f"c{c} k{k}: own snapshot v{res.version} wrong")
+                last_prefix = k + 1
+            else:
+                # our write is complete but unpublished (predecessors in
+                # flight): LATEST must show a *monotonic prefix* of our own
+                # writes — linearizable-snapshot semantics on our range
+                snap = yield from read_protocol(
+                    blob_id, GEOM, lo, span, router, version=LATEST
+                )
+                try:
+                    prefix = prefixes.index(snap.data)
+                except ValueError:
+                    errors.append(f"c{c} k{k}: torn own-range read")
+                    continue
+                if prefix < last_prefix:
+                    errors.append(
+                        f"c{c} k{k}: own-range prefix went backwards "
+                        f"({last_prefix} -> {prefix})"
+                    )
+                last_prefix = max(last_prefix, prefix)
+        return {"client": c, "versions": got_versions, "errors": errors}
+
+    return prog
+
+
+def _run_concurrent(harness):
+    blob_id = harness.run(alloc_protocol(TOTAL, PAGE))
+    router = harness.dep.router
+    factories = [
+        concurrent_program(blob_id, router, c) for c in range(N_CLIENTS)
+    ]
+    outcomes = harness.run_concurrently(factories)
+    for outcome in outcomes:
+        assert outcome["errors"] == [], f"{harness.name}: {outcome['errors']}"
+
+    total = N_CLIENTS * WRITES_PER_CLIENT
+    vm = harness.dep.vm
+    assert vm.get_latest(blob_id) == total, f"{harness.name}: not all published"
+
+    # every version assigned exactly once, to the expected patch geometry
+    version_of = {}
+    for outcome in outcomes:
+        for k, v in enumerate(outcome["versions"]):
+            version_of[v] = (outcome["client"], k)
+    assert sorted(version_of) == list(range(1, total + 1))
+    patch_geoms = {
+        v: (off, len(data))
+        for v, (c, k) in version_of.items()
+        for off, data in [client_patch(c, k)]
+    }
+    assert {
+        (v, off, size) for v, (off, size) in patch_geoms.items()
+    } == set(vm.patches(blob_id)), f"{harness.name}: vm patch chain disagrees"
+
+    # per-driver linearizable snapshots: every published version equals the
+    # prefix replay of that driver's version order
+    state = bytearray(TOTAL)
+    for v in range(1, total + 1):
+        c, k = version_of[v]
+        offset, data = client_patch(c, k)
+        state[offset : offset + len(data)] = data
+        snap = harness.run(
+            read_protocol(blob_id, GEOM, 0, TOTAL, router, version=v)
+        )
+        assert snap.data == bytes(state), (
+            f"{harness.name}: snapshot v{v} != prefix replay"
+        )
+    final = bytes(state)
+
+    return {
+        "blob_id": blob_id,
+        "final": final,
+        "pages": page_dict(harness.dep, blob_id),
+        "leaf_refs": leaf_page_refs(harness.dep, blob_id),
+    }
+
+
+def test_concurrent_workload_equivalent_across_drivers():
+    results = {}
+    for harness in all_harnesses():
+        try:
+            results[harness.name] = _run_concurrent(harness)
+        finally:
+            harness.close()
+    ref = results["inproc"]
+
+    # the final blob is fully determined by the workload (disjoint ranges),
+    # so all drivers must converge to the same bytes
+    expected_final = bytearray(TOTAL)
+    for c in range(N_CLIENTS):
+        lo = c * PAGES_PER_CLIENT * PAGE
+        expected_final[lo : lo + PAGES_PER_CLIENT * PAGE] = own_range_states(c)[-1]
+    assert ref["final"] == bytes(expected_final)
+
+    for name in ("threaded", "simulated"):
+        got = results[name]
+        assert got["final"] == ref["final"], f"{name}: final blob bytes differ"
+        # page identity is placement- and version-order-independent:
+        # (blob, write_uid, index) -> bytes must match bit for bit
+        assert got["pages"] == ref["pages"], f"{name}: stored pages differ"
+        # every write's pages are referenced by leaves at the same intervals
+        assert got["leaf_refs"] == ref["leaf_refs"], (
+            f"{name}: leaf page references differ"
+        )
+
+
+def test_transport_batching_equivalent_sub_calls():
+    """The threaded and simulated drivers must issue identical wire-RPC
+    and sub-call counts for an identical serial workload — both execute
+    exactly the groups `plan_wire_groups` plans (shared framing)."""
+    threaded, simulated = ThreadedHarness(), SimulatedHarness()
+    try:
+        t = _run_serial(threaded)
+        s = _run_serial(simulated)
+        assert t["pages"] == s["pages"]
+        t_rpcs = sum(r for r, _ in threaded.dep.driver.server_stats().values())
+        t_calls = sum(c for _, c in threaded.dep.driver.server_stats().values())
+        assert (t_rpcs, t_calls) == (
+            simulated.dep.executor.wire_rpcs,
+            simulated.dep.executor.sub_calls,
+        ), "threaded and simulated drivers framed the same workload differently"
+    finally:
+        threaded.close()
+        simulated.close()

@@ -106,6 +106,170 @@ class TestProviderPassthrough:
         assert dp.bytes_stored == PAGE
 
 
+class TestReadIntoCallerBuffer:
+    """Zero-copy READ assembly: scatter into a caller-supplied buffer."""
+
+    def _dep_with_blob(self, npages_written=4):
+        dep = build_inproc(DeploymentSpec(n_data=2, n_meta=2))
+        client = dep.client("ri")
+        blob = client.alloc(total_size=1 << 20, pagesize=PAGE)
+        data = bytes(range(256)) * (npages_written * PAGE // 256)
+        client.write(blob, data, offset=0)
+        return dep, client, blob, data
+
+    def test_result_view_aliases_the_caller_buffer(self):
+        _, client, blob, data = self._dep_with_blob()
+        buf = bytearray(2 * PAGE)
+        res = client.read_into(blob, buf, offset=0)
+        assert type(res.data) is memoryview
+        assert res.data.obj is buf  # no intermediate buffer anywhere
+        assert bytes(buf) == data[: 2 * PAGE]
+        assert res.size == 2 * PAGE and res.pages_fetched == 2
+
+    def test_partial_page_scatter_crossing_boundary(self):
+        _, client, blob, data = self._dep_with_blob()
+        buf = bytearray(100)
+        res = client.read_into(blob, buf, offset=PAGE - 50)
+        assert bytes(buf) == data[PAGE - 50 : PAGE + 50]
+        assert res.zero_bytes == 0
+
+    def test_memoryview_window_of_larger_buffer(self):
+        _, client, blob, data = self._dep_with_blob()
+        backing = bytearray(b"\xee" * (4 * PAGE))
+        window = memoryview(backing)[PAGE : 2 * PAGE]
+        client.read_into(blob, window, offset=0)
+        assert backing[PAGE : 2 * PAGE] == data[:PAGE]
+        # bytes outside the window are untouched
+        assert backing[:PAGE] == b"\xee" * PAGE
+        assert backing[2 * PAGE :] == b"\xee" * (2 * PAGE)
+
+    def test_version_zero_read_zero_fills_dirty_buffer(self):
+        dep = build_inproc(DeploymentSpec(n_data=2, n_meta=2))
+        client = dep.client("rz")
+        blob = client.alloc(total_size=1 << 20, pagesize=PAGE)
+        buf = bytearray(b"\xff" * PAGE)
+        res = client.read_into(blob, buf, offset=0)
+        assert bytes(buf) == bytes(PAGE)
+        assert res.version == 0 and res.zero_bytes == PAGE
+
+    def test_zero_gap_regions_are_zero_filled(self):
+        """A read spanning written and never-written pages must zero the
+        gaps even when the caller's buffer arrives dirty."""
+        dep = build_inproc(DeploymentSpec(n_data=2, n_meta=2))
+        client = dep.client("rg")
+        blob = client.alloc(total_size=1 << 20, pagesize=PAGE)
+        client.write(blob, b"W" * PAGE, offset=0)  # page 0 only
+        buf = bytearray(b"\xff" * (2 * PAGE))
+        res = client.read_into(blob, buf, offset=0)
+        assert bytes(buf) == b"W" * PAGE + bytes(PAGE)
+        assert res.zero_bytes == PAGE
+
+    def test_interior_zero_gap_between_written_pages(self):
+        """Gap zeroing is interval-exact: only the uncovered middle page
+        is cleared, written pages land by scatter alone."""
+        dep = build_inproc(DeploymentSpec(n_data=2, n_meta=2))
+        client = dep.client("rgi")
+        blob = client.alloc(total_size=1 << 20, pagesize=PAGE)
+        client.write(blob, b"A" * PAGE, offset=0)         # page 0
+        client.write(blob, b"C" * PAGE, offset=2 * PAGE)  # page 2
+        buf = bytearray(b"\xff" * (3 * PAGE))
+        res = client.read_into(blob, buf, offset=0)
+        assert bytes(buf) == b"A" * PAGE + bytes(PAGE) + b"C" * PAGE
+        assert res.zero_bytes == PAGE
+
+    def test_mutating_the_buffer_cannot_disturb_the_snapshot(self):
+        _, client, blob, data = self._dep_with_blob()
+        buf = bytearray(PAGE)
+        client.read_into(blob, buf, offset=0)
+        buf[:] = b"\x00" * PAGE  # scribble over the caller buffer
+        assert client.read_bytes(blob, 0, PAGE, version=1) == data[:PAGE]
+
+    def test_readonly_buffer_rejected(self):
+        _, client, blob, _ = self._dep_with_blob()
+        with pytest.raises(ValueError, match="writable"):
+            client.read_into(blob, memoryview(bytes(PAGE)), offset=0)
+
+    def test_empty_buffer_rejected(self):
+        from repro.errors import OutOfBounds
+
+        _, client, blob, _ = self._dep_with_blob()
+        with pytest.raises(OutOfBounds):
+            client.read_into(blob, bytearray(0), offset=0)
+
+    def test_undersized_out_rejected_at_protocol_level(self):
+        from repro.core.protocol import read_protocol
+
+        dep, client, blob, _ = self._dep_with_blob()
+        geom = client.open(blob)
+        with pytest.raises(ValueError, match="cannot hold"):
+            dep.driver.run(
+                read_protocol(
+                    blob, geom, 0, 2 * PAGE, dep.router, out=bytearray(PAGE)
+                )
+            )
+
+
+class TestPlainReadAliasFastPath:
+    """Plain reads alias the stored page when that is provably safe."""
+
+    def test_single_full_page_roundtrip_is_zero_copy(self):
+        """bytes in == the very same bytes object out: a whole-page write
+        stores the caller's bytes as-is, and a whole-page read returns it
+        without any copy (immutable + write-once makes aliasing safe)."""
+        dep = build_inproc(DeploymentSpec(n_data=2, n_meta=2))
+        client = dep.client("alias")
+        blob = client.alloc(total_size=1 << 20, pagesize=PAGE)
+        data = bytes(range(256)) * (PAGE // 256)
+        client.write(blob, data, offset=0)
+        res = client.read(blob, 0, PAGE)
+        assert res.data is data
+
+    def test_multi_page_reads_still_materialize_fresh_bytes(self):
+        dep = build_inproc(DeploymentSpec(n_data=2, n_meta=2))
+        client = dep.client("alias2")
+        blob = client.alloc(total_size=1 << 20, pagesize=PAGE)
+        data = b"x" * (2 * PAGE)
+        client.write(blob, data, offset=0)
+        res = client.read(blob, 0, 2 * PAGE)
+        assert type(res.data) is bytes and res.data == data
+        assert res.data is not data
+
+    def test_full_page_read_of_view_payload_returns_bytes(self):
+        """Pages stored as memoryviews (multi-page writes) must surface as
+        immutable bytes on the plain-read path."""
+        dep = build_inproc(DeploymentSpec(n_data=2, n_meta=2))
+        client = dep.client("alias3")
+        blob = client.alloc(total_size=1 << 20, pagesize=PAGE)
+        client.write(blob, b"a" * PAGE + b"b" * PAGE, offset=0)
+        res = client.read(blob, 0, PAGE)
+        assert type(res.data) is bytes and res.data == b"a" * PAGE
+
+    def test_gapped_single_page_read_does_not_alias(self):
+        """zero_bytes > 0 must disable the alias fast path."""
+        dep = build_inproc(DeploymentSpec(n_data=2, n_meta=2))
+        client = dep.client("alias4")
+        blob = client.alloc(total_size=1 << 20, pagesize=PAGE)
+        data = bytes(range(256)) * (PAGE // 256)
+        client.write(blob, data, offset=0)
+        res = client.read(blob, 0, 2 * PAGE)  # page 1 never written
+        assert res.data == data + bytes(PAGE)
+
+
+class TestPayloadView:
+    def test_view_of_bytes_payload_is_zero_copy(self):
+        data = b"v" * 64
+        payload = PagePayload.real(data)
+        view = payload.view()
+        assert type(view) is memoryview and view.obj is data
+
+    def test_view_of_view_payload_is_the_same_view(self):
+        view = memoryview(b"v" * 64)
+        assert PagePayload.real(view).view() is view
+
+    def test_virtual_payload_has_no_view(self):
+        assert PagePayload.virtual(64).view() is None
+
+
 class TestEndToEndWrite:
     def test_written_pages_share_client_buffer_until_read(self):
         """Full WRITE path: pages land on providers as views of the input."""
