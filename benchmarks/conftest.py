@@ -33,6 +33,10 @@ class BenchProfile:
     fig3c_iterations: int
     ablation_clients: tuple[int, ...]
     ablation_iterations: int
+    #: LSST-scale concurrency sweep beyond the paper's 20 clients
+    #: (empty = skipped; only the full profile pays for it)
+    fig3c_lsst_clients: tuple[int, ...] = ()
+    fig3c_lsst_iterations: int = 6
 
 
 @pytest.fixture(scope="session")
@@ -45,6 +49,7 @@ def profile() -> BenchProfile:
             fig3c_iterations=25,
             ablation_clients=(1, 2, 4, 8, 16),
             ablation_iterations=15,
+            fig3c_lsst_clients=(20, 32, 48, 64),
         )
     return BenchProfile(
         full=False,

@@ -30,6 +30,7 @@ from repro.core.protocol import ReadResult, WriteResult
 from repro.metadata.inspect import TreeInspector
 from repro.version.diff import changed_ranges
 from repro.deploy.inproc import InprocDeployment, build_inproc
+from repro.deploy.process import ProcessDeployment, build_process
 from repro.deploy.simulated import SimClient, SimDeployment
 from repro.deploy.threaded import ThreadedDeployment, build_threaded
 from repro.errors import (
@@ -69,6 +70,8 @@ __all__ = [
     "SimDeployment",
     "ThreadedDeployment",
     "build_threaded",
+    "ProcessDeployment",
+    "build_process",
     "ClusterSpec",
     "LATEST",
     "KB",

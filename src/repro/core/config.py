@@ -60,6 +60,9 @@ class DeploymentSpec:
     cache_capacity: int = 1 << 20
     #: host data+meta provider i on the same simulated node (paper's layout)
     colocate: bool = True
+    #: data providers checksum real pages on put and verify on get
+    #: (integrity mode: provider-side CPU work, see providers.page)
+    page_checksums: bool = False
 
     def __post_init__(self) -> None:
         if self.n_data < 1 or self.n_meta < 1 or self.n_clients < 1:

@@ -1,18 +1,22 @@
 """Deployment builders: wire actors, drivers and clients together.
 
-Three deployments mirror the three drivers:
+Four deployments mirror the four drivers:
 
 - :func:`~repro.deploy.inproc.build_inproc` — everything in one thread;
   the functional substrate for tests, examples and the sky pipeline.
 - :func:`~repro.deploy.threaded.build_threaded` — each actor on its own
   service thread (the paper's one-process-per-node layout), real client
   threads; validates concurrency/lock-freedom claims.
+- :func:`~repro.deploy.process.build_process` — each provider actor in
+  its own OS process (pickle frames over pipes, no shared GIL); the
+  real-parallelism deployment whose throughput numbers are meaningful.
 - :class:`~repro.deploy.simulated.SimDeployment` — actors on simulated
   cluster nodes with calibrated costs; the benchmark substrate.
 """
 
 from repro.deploy.inproc import InprocDeployment, build_inproc
 from repro.deploy.threaded import ThreadedDeployment, build_threaded
+from repro.deploy.process import ProcessDeployment, build_process
 from repro.deploy.simulated import SimClient, SimDeployment
 
 __all__ = [
@@ -20,6 +24,8 @@ __all__ = [
     "build_inproc",
     "ThreadedDeployment",
     "build_threaded",
+    "ProcessDeployment",
+    "build_process",
     "SimDeployment",
     "SimClient",
 ]

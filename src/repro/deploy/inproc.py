@@ -62,7 +62,7 @@ class InprocDeployment:
         """A provider joining the running system (paper: providers may
         dynamically join)."""
         new_id = max(self.data, default=-1) + 1
-        dp = DataProvider(new_id, spill=spill)
+        dp = DataProvider(new_id, spill=spill, checksum=self.spec.page_checksums)
         self.data[new_id] = dp
         self.driver.register(("data", new_id), dp)
         self.pm.register(new_id)
@@ -83,7 +83,7 @@ def build_inproc(spec: DeploymentSpec | None = None, spills: dict[int, object] |
     data: dict[int, DataProvider] = {}
     spills = spills or {}
     for i in range(spec.n_data):
-        dp = DataProvider(i, spill=spills.get(i))
+        dp = DataProvider(i, spill=spills.get(i), checksum=spec.page_checksums)
         data[i] = dp
         driver.register(("data", i), dp)
         pm.register(i)

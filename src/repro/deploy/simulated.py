@@ -81,7 +81,7 @@ class SimDeployment:
         self._clients: list[SimClient] = []
 
     def _add_data(self, i: int, node: SimNode) -> None:
-        dp = DataProvider(i)
+        dp = DataProvider(i, checksum=self.spec.page_checksums)
         self.data[i] = dp
         self.executor.register(("data", i), dp, node)
         self.pm.register(i)

@@ -81,7 +81,9 @@ def build_threaded(spec: DeploymentSpec | None = None) -> ThreadedDeployment:
         make_strategy(spec.strategy, **spec.strategy_kwargs),
         replication=spec.replication,
     )
-    data: dict[int, DataProvider] = {i: DataProvider(i) for i in range(spec.n_data)}
+    data: dict[int, DataProvider] = {
+        i: DataProvider(i, checksum=spec.page_checksums) for i in range(spec.n_data)
+    }
     meta: dict[int, MetadataProvider] = {
         i: MetadataProvider(i) for i in range(spec.n_meta)
     }

@@ -37,6 +37,12 @@ class VersionNotPublished(ReproError):
         self.requested = requested
         self.latest = latest
 
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with self.args (the
+        # formatted message), which does not match this signature; errors
+        # must survive the process-driver wire, so rebuild from the fields.
+        return (VersionNotPublished, (self.blob_id, self.requested, self.latest))
+
 
 class OutOfBounds(ReproError):
     """Access past the end of the blob's fixed logical size."""
@@ -52,6 +58,10 @@ class ImmutabilityViolation(ReproError):
 
 class PageMissing(ReproError):
     """A data provider was asked for a page it does not hold."""
+
+
+class PageCorrupt(ReproError):
+    """A stored page failed its integrity checksum on read."""
 
 
 class NodeMissing(ReproError):
@@ -101,6 +111,21 @@ class RemoteError(ReproError):
         if isinstance(self.original, ReproError):
             return self.original
         return self
+
+    def __reduce__(self):
+        # Same signature problem as VersionNotPublished, plus the wrapped
+        # original may itself be unpicklable (it can carry arbitrary
+        # handler state): probe it and ship ``None`` in its place — the
+        # error type name and message always cross the wire intact.
+        original = self.original
+        if original is not None:
+            import pickle
+
+            try:
+                pickle.loads(pickle.dumps(original))
+            except Exception:
+                original = None
+        return (RemoteError, (self.error_type, self.message, original))
 
 
 class GCInProgress(ReproError):

@@ -74,6 +74,12 @@ class MetadataProvider:
             node for key, node in self._nodes.items() if key.blob_id == blob_id
         )
 
+    def dump_nodes(self, blob_id: str) -> list[TreeNode]:
+        """:meth:`iter_nodes` as an RPC-shaped list (same failure
+        semantics), so out-of-process deployments expose the inspection
+        surface the conformance suite compares."""
+        return list(self.iter_nodes(blob_id))
+
     def free_nodes(self, keys: Iterable[NodeKey]) -> int:
         self._check_up()
         freed = 0
@@ -123,6 +129,8 @@ class MetadataProvider:
             return self.free_nodes(*args)
         if method == "meta.list_nodes":
             return self.list_nodes(*args)
+        if method == "meta.dump_nodes":
+            return self.dump_nodes(*args)
         if method == "meta.stats":
             return self.stats()
         raise ValueError(f"metadata provider: unknown method {method!r}")

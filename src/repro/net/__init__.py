@@ -10,6 +10,9 @@ drivers execute them:
   tests, examples and the application pipeline;
 - :class:`~repro.net.threaded.ThreadedDriver` — one service thread per actor
   with queue transports: real concurrency, used to validate lock-freedom;
+- :class:`~repro.net.process.ProcessDriver` — one OS process per provider
+  actor, length-prefixed pickle frames (:mod:`repro.net.codec`) over
+  pipes: real parallelism, no shared GIL, meaningful throughput;
 - :class:`~repro.net.simdriver.SimRpcExecutor` — runs protocols as processes
   on the discrete-event cluster with full cost accounting, used by every
   benchmark.
@@ -22,6 +25,7 @@ from repro.net.sansio import Batch, Call, Compute, Protocol, run_inproc
 from repro.net.message import estimate_size
 from repro.net.inproc import InprocDriver
 from repro.net.threaded import ThreadedDriver
+from repro.net.process import ProcessDriver
 from repro.net.simdriver import SimRpcExecutor
 
 __all__ = [
@@ -33,5 +37,6 @@ __all__ = [
     "estimate_size",
     "InprocDriver",
     "ThreadedDriver",
+    "ProcessDriver",
     "SimRpcExecutor",
 ]

@@ -19,14 +19,19 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
-from repro.errors import ImmutabilityViolation, PageMissing, ProviderUnavailable
-from repro.providers.page import PageKey, PagePayload
+from repro.errors import (
+    ImmutabilityViolation,
+    PageCorrupt,
+    PageMissing,
+    ProviderUnavailable,
+)
+from repro.providers.page import PageKey, PagePayload, page_checksum
 
 
 class DataProvider:
     """One data-provider process (one per node in the paper's deployment)."""
 
-    def __init__(self, provider_id: int, spill=None) -> None:
+    def __init__(self, provider_id: int, spill=None, checksum: bool = False) -> None:
         self.provider_id = provider_id
         self._pages: dict[PageKey, PagePayload] = {}
         self.bytes_stored = 0
@@ -34,6 +39,10 @@ class DataProvider:
         self.gets = 0
         self.failed = False  # failure injection: refuse all service
         self._spill = spill  # optional persistence backend
+        #: integrity mode: checksum every real page on put, verify on get
+        #: (storage-tier CPU work; virtual pages have no bytes to sum)
+        self.checksum = checksum
+        self._checksums: dict[PageKey, int] = {}
 
     # -- storage operations ------------------------------------------------
 
@@ -46,6 +55,10 @@ class DataProvider:
         self._pages[key] = payload
         self.bytes_stored += payload.nbytes
         self.puts += 1
+        if self.checksum:
+            digest = page_checksum(payload)
+            if digest is not None:
+                self._checksums[key] = digest
         if self._spill is not None:
             self._spill.store(key, payload)
         return True
@@ -53,16 +66,19 @@ class DataProvider:
     def get_page(self, key: PageKey) -> PagePayload:
         self._check_up()
         self.gets += 1
-        try:
-            return self._pages[key]
-        except KeyError:
-            if self._spill is not None:
-                payload = self._spill.load(key)
-                if payload is not None:
-                    return payload
-            raise PageMissing(
-                f"provider {self.provider_id}: no page {key}"
-            ) from None
+        payload = self._pages.get(key)
+        if payload is None and self._spill is not None:
+            payload = self._spill.load(key)
+        if payload is None:
+            raise PageMissing(f"provider {self.provider_id}: no page {key}")
+        # Verify RAM *and* spill loads: the persistence tier is the path
+        # most exposed to corruption (torn/misdirected writes on disk).
+        expected = self._checksums.get(key)
+        if expected is not None and page_checksum(payload) != expected:
+            raise PageCorrupt(
+                f"provider {self.provider_id}: page {key} failed its checksum"
+            )
+        return payload
 
     def has_page(self, key: PageKey) -> bool:
         return key in self._pages
@@ -74,6 +90,7 @@ class DataProvider:
             payload = self._pages.pop(key, None)
             if payload is not None:
                 self.bytes_stored -= payload.nbytes
+                self._checksums.pop(key, None)
                 freed += 1
                 if self._spill is not None:
                     self._spill.drop(key)
@@ -93,6 +110,15 @@ class DataProvider:
         for key, payload in self._pages.items():
             if key.blob_id == blob_id:
                 yield key, payload
+
+    def dump_pages(self, blob_id: str) -> list[tuple[PageKey, PagePayload]]:
+        """:meth:`iter_pages` as an RPC-shaped list.
+
+        Lets out-of-process deployments expose the same inspection surface
+        the conformance suite reads in-process; payloads materialize at
+        the codec boundary (see ``PagePayload.__reduce__``).
+        """
+        return list(self.iter_pages(blob_id))
 
     def evict_to_spill(self) -> int:
         """Drop in-RAM copies that are safely persisted (needs a spill)."""
@@ -141,6 +167,8 @@ class DataProvider:
             return self.free_pages(*args)
         if method == "data.list_pages":
             return self.list_pages(*args)
+        if method == "data.dump_pages":
+            return self.dump_pages(*args)
         if method == "data.stats":
             return self.stats()
         raise ValueError(f"data provider: unknown method {method!r}")

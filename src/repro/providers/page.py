@@ -94,6 +94,22 @@ class PagePayload:
             return bytes(self.data)
         return self.data
 
+    def __reduce__(self):
+        """Pickle support for the process-driver wire (see net/codec.py).
+
+        A memoryview-backed payload cannot cross a process boundary as a
+        view — the backing buffer lives in the sending process — so it
+        materializes to immutable ``bytes`` here, exactly once, at the
+        boundary. In-process drivers never pay this copy; the receiving
+        side gets a payload that is bit-identical and already in the
+        cheapest form (``bytes``) for onward zero-copy reads. Virtual
+        payloads travel as their byte count alone.
+        """
+        data = self.data
+        if data is not None and type(data) is memoryview:
+            data = bytes(data)
+        return (PagePayload, (self.nbytes, data))
+
     def view(self) -> memoryview | None:
         """Zero-copy view of real contents (``None`` for virtual pages).
 
@@ -108,6 +124,46 @@ class PagePayload:
         if type(data) is memoryview:
             return data
         return memoryview(data)
+
+
+_FLETCHER_MASK = (1 << 64) - 1
+
+
+def page_checksum(payload: PagePayload) -> int | None:
+    """Integrity checksum of a page's contents (``None`` for virtual pages).
+
+    A Fletcher-style double-accumulator over 32-bit words (64-bit sums,
+    overflow-free for any legal page size): the running second sum makes
+    it *position-sensitive* (a plain word-sum cannot tell two swapped
+    blocks apart), which is the property storage checksums need against
+    misdirected/torn writes.
+
+    Deliberately implemented as a pure-Python loop (no hashlib/zlib, whose
+    C kernels release the GIL): integrity mode models the storage-tier CPU
+    real providers burn per page — checksumming, compression, encryption —
+    *inside the interpreter*. Under the threaded driver that work
+    serializes on the shared GIL no matter how many actor threads exist;
+    under the process driver it runs on worker cores. The transport-scaling
+    benchmark measures exactly that contrast, so this function's cost is a
+    feature: it stands in for the per-byte service work of a real storage
+    node, in the only place Python makes the GIL effect visible.
+    """
+    view = payload.view()
+    if view is None:
+        return None
+    nbytes = view.nbytes
+    words = nbytes // 4
+    s1 = nbytes * 0x9E3779B1
+    s2 = 0
+    # classical Fletcher granularity: 32-bit words under 64-bit
+    # accumulators (no overflow for any page size this system allows)
+    for word in view[: words * 4].cast("I"):
+        s1 = (s1 + word) & _FLETCHER_MASK
+        s2 = (s2 + s1) & _FLETCHER_MASK
+    for byte in view[words * 4 :]:
+        s1 = (s1 + byte) & _FLETCHER_MASK
+        s2 = (s2 + s1) & _FLETCHER_MASK
+    return (s2 << 64) | s1
 
 
 @estimate_size.register

@@ -1,0 +1,261 @@
+"""Wire codec: frame round-trips for everything that crosses a process
+boundary, streaming reassembly, and corruption handling.
+
+The satellite requirement pinned here: memoryview-backed (zero-copy) and
+spilled page payloads must round-trip the codec bit-identically — the
+process driver is only correct if the wire preserves exactly the bytes
+the in-process drivers carry as views.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+
+import pytest
+
+from repro.core.persistence import DiskSpill
+from repro.errors import (
+    PageMissing,
+    RemoteError,
+    ReproError,
+    VersionNotPublished,
+)
+from repro.metadata.node import NodeKey, TreeNode
+from repro.net.codec import (
+    LENGTH_PREFIX_BYTES,
+    FrameDecoder,
+    MessageDecoder,
+    WireCodecError,
+    decode_body,
+    decode_frame,
+    encode_frame,
+    encode_message,
+)
+from repro.providers.page import PageKey, PagePayload, page_checksum
+from repro.version.manager import WriteTicket
+
+
+def roundtrip(obj):
+    return decode_frame(encode_frame(obj))
+
+
+# ---------------------------------------------------------------------------
+# payload round-trips (satellite: viewed/spilled payloads, bit-identical)
+# ---------------------------------------------------------------------------
+
+
+def test_real_bytes_payload_roundtrips_bit_identical():
+    payload = PagePayload.real(bytes(range(256)) * 16)
+    back = roundtrip(payload)
+    assert back.nbytes == payload.nbytes
+    assert back.as_bytes() == payload.as_bytes()
+    assert not back.is_virtual
+
+
+def test_memoryview_backed_payload_roundtrips_bit_identical():
+    # the zero-copy path: split_pages carries views over the caller's
+    # buffer; at the process boundary they must materialize, not break
+    buf = bytes(range(256)) * 64
+    view = memoryview(buf)[4096 : 4096 + 4096]
+    payload = PagePayload.real(view)
+    assert type(payload.data) is memoryview  # premise: it really is a view
+    back = roundtrip(payload)
+    assert type(back.data) is bytes  # materialized exactly once
+    assert back.as_bytes() == bytes(view)
+    assert page_checksum(back) == page_checksum(payload)
+
+
+def test_spilled_payload_roundtrips_bit_identical(tmp_path):
+    # a payload stored through the disk spill as an unmaterialized view,
+    # loaded back, then shipped through the codec
+    spill = DiskSpill(tmp_path)
+    data = b"\xa5" * 4096
+    key = PageKey("blob-x", "w#1", 3)
+    spill.store(key, PagePayload.real(memoryview(data)[:]))
+    loaded = spill.load(key)
+    assert loaded is not None
+    back = roundtrip(loaded)
+    assert back.as_bytes() == data
+    assert back.nbytes == 4096
+
+
+def test_virtual_payload_travels_as_count_only():
+    back = roundtrip(PagePayload.virtual(1 << 20))
+    assert back.is_virtual
+    assert back.nbytes == 1 << 20
+    # a virtual terabyte page must not cost a terabyte frame
+    assert len(encode_frame(PagePayload.virtual(1 << 40))) < 256
+
+
+def test_plain_pickle_of_viewed_payload_also_works():
+    # __reduce__ serves any pickler, not just the codec (mp.Pipe uses its own)
+    payload = PagePayload.real(memoryview(b"z" * 128))
+    back = pickle.loads(pickle.dumps(payload))
+    assert back.as_bytes() == b"z" * 128
+
+
+# ---------------------------------------------------------------------------
+# metadata / control value round-trips
+# ---------------------------------------------------------------------------
+
+
+def test_tree_nodes_and_keys_roundtrip():
+    leaf = TreeNode(
+        NodeKey("blob-1", 4, 0, 4096), providers=(2, 5), write_uid="c1#9"
+    )
+    internal = TreeNode(
+        NodeKey("blob-1", 4, 0, 8192), left_version=4, right_version=2
+    )
+    assert roundtrip(leaf) == leaf
+    assert roundtrip(internal) == internal
+    assert roundtrip(PageKey("b", "w", 7)) == PageKey("b", "w", 7)
+
+
+def test_write_ticket_roundtrips():
+    ticket = WriteTicket(
+        blob_id="blob-2", version=9, border_refs=(((0, 4096), 3), ((8192, 4096), 7))
+    )
+    assert roundtrip(ticket) == ticket
+
+
+def test_batched_rpc_shapes_roundtrip():
+    frame = (
+        17,
+        "rpc",
+        [
+            ("data.put_page", (PageKey("b", "w", 0), PagePayload.real(b"x" * 64))),
+            ("data.get_page", (PageKey("b", "w", 1),)),
+        ],
+    )
+    req_id, kind, calls = roundtrip(frame)
+    assert (req_id, kind) == (17, "rpc")
+    assert calls[0][1][1].as_bytes() == b"x" * 64
+
+
+# ---------------------------------------------------------------------------
+# error round-trips
+# ---------------------------------------------------------------------------
+
+
+def test_semantic_error_survives_typed():
+    err = RemoteError.wrap(VersionNotPublished("blob-3", 9, 4))
+    back = roundtrip(err)
+    assert isinstance(back, RemoteError)
+    unwrapped = back.unwrap()
+    assert isinstance(unwrapped, VersionNotPublished)
+    assert (unwrapped.blob_id, unwrapped.requested, unwrapped.latest) == (
+        "blob-3", 9, 4,
+    )
+
+
+def test_page_missing_survives_typed():
+    back = roundtrip(RemoteError.wrap(PageMissing("no page")))
+    assert isinstance(back.unwrap(), PageMissing)
+
+
+def test_unpicklable_original_is_dropped_not_fatal():
+    class Weird(Exception):
+        def __init__(self):
+            super().__init__("weird")
+            self.payload = lambda: None  # unpicklable attribute
+
+    err = RemoteError.wrap(Weird())
+    back = roundtrip(err)
+    assert isinstance(back, RemoteError)
+    assert back.original is None
+    assert back.error_type == "Weird"
+    assert back.unwrap() is back  # non-semantic stays wrapped
+
+
+# ---------------------------------------------------------------------------
+# framing: self-delimiting streams, corruption
+# ---------------------------------------------------------------------------
+
+
+def test_frame_decoder_reassembles_across_chunk_boundaries():
+    objs = [PagePayload.real(b"a" * 1000), ("ctl", 1), list(range(50))]
+    stream = b"".join(encode_frame(o) for o in objs)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(0, len(stream), 7):  # adversarial 7-byte chunks
+        out.extend(decoder.feed(stream[i : i + 7]))
+    assert len(out) == 3
+    assert out[0].as_bytes() == b"a" * 1000
+    assert out[1] == ("ctl", 1)
+    assert out[2] == list(range(50))
+    assert decoder.pending_bytes == 0
+
+
+def test_frames_stream_over_a_real_socket():
+    # the length prefix makes frames self-delimiting on a raw byte stream
+    left, right = socket.socketpair()
+    try:
+        sent = [
+            (1, "rpc", [("data.get_page", (PageKey("b", "w", i),))])
+            for i in range(20)
+        ]
+        for obj in sent:
+            left.sendall(encode_frame(obj))
+        decoder = FrameDecoder()
+        received = []
+        while len(received) < len(sent):
+            received.extend(decoder.feed(right.recv(64)))
+        assert received == sent
+    finally:
+        left.close()
+        right.close()
+
+
+def test_message_layer_routes_by_header_without_decoding():
+    # the RPC channel: req_id lives outside the pickle body, so a router
+    # can dispatch replies without paying the unpickle
+    payloads = {
+        7: ("rpc", [("data.get_page", (PageKey("b", "w", 1),))]),
+        1 << 40: [PagePayload.real(b"y" * 500)],  # u64 ids supported
+    }
+    stream = b"".join(encode_message(i, obj) for i, obj in payloads.items())
+    decoder = MessageDecoder()
+    seen = {}
+    for i in range(0, len(stream), 11):  # adversarial chunking
+        for req_id, body in decoder.feed(stream[i : i + 11]):
+            assert isinstance(body, bytes)  # still encoded at routing time
+            seen[req_id] = decode_body(body)
+    assert set(seen) == set(payloads)
+    assert seen[7] == payloads[7]
+    assert seen[1 << 40][0].as_bytes() == b"y" * 500
+    assert decoder.pending_bytes == 0
+
+
+def test_message_decoder_rejects_corrupt_length():
+    decoder = MessageDecoder()
+    with pytest.raises(WireCodecError):
+        list(decoder.feed(b"\xff\xff\xff\xff" + b"\x00" * 16))
+
+
+def test_decode_rejects_length_mismatch():
+    frame = bytearray(encode_frame(("x", 1)))
+    frame[:LENGTH_PREFIX_BYTES] = (len(frame) + 5).to_bytes(4, "big")
+    with pytest.raises(WireCodecError):
+        decode_frame(bytes(frame))
+
+
+def test_decode_rejects_truncated_and_garbage():
+    with pytest.raises(WireCodecError):
+        decode_frame(b"\x00\x01")
+    good = encode_frame([1, 2, 3])
+    corrupt = good[:LENGTH_PREFIX_BYTES] + b"\xff" * (len(good) - LENGTH_PREFIX_BYTES)
+    with pytest.raises(WireCodecError):
+        decode_frame(corrupt)
+
+
+def test_decoder_rejects_absurd_length_prefix():
+    decoder = FrameDecoder()
+    with pytest.raises(WireCodecError):
+        list(decoder.feed(b"\xff\xff\xff\xff garbage"))
+
+
+def test_encode_rejects_unpicklable_object():
+    with pytest.raises(WireCodecError):
+        encode_frame(lambda: None)
+    assert issubclass(WireCodecError, ReproError)

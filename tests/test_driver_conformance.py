@@ -1,11 +1,12 @@
-"""Cross-driver conformance suite: inproc vs threaded vs simulated.
+"""Cross-driver conformance suite: inproc vs threaded vs process vs simulated.
 
 The paper's claim only holds if the *deployment substrate* is
 interchangeable: the same sans-io WRITE/READ protocols must produce the
 same blobs whether they are dispatched directly (inproc), over real
-per-actor service threads (threaded), or on the discrete-event cluster
-model (simulated). This suite replays identical seeded workloads — built
-once as driver-agnostic composite protocol generators — on all three
+per-actor service threads (threaded), across per-actor OS processes
+through the pickle-frame wire codec (process), or on the discrete-event
+cluster model (simulated). This suite replays identical seeded workloads —
+built once as driver-agnostic composite protocol generators — on all four
 deployments and asserts:
 
 - **serial phase** (deterministic, single client): bit-identical page
@@ -36,6 +37,7 @@ from repro.core.protocol import (
     write_protocol,
 )
 from repro.deploy.inproc import build_inproc
+from repro.deploy.process import build_process
 from repro.deploy.simulated import SimDeployment
 from repro.deploy.threaded import build_threaded
 from repro.metadata.tree import TreeGeometry
@@ -104,11 +106,22 @@ class ThreadedHarness:
                 results.append(fut.result(timeout=JOIN_TIMEOUT))
             except TimeoutError:
                 stalled.append(f"program-{i}")
-        assert not stalled, f"threaded programs stalled: {stalled}"
+        assert not stalled, f"{self.name} programs stalled: {stalled}"
         return results
 
     def close(self) -> None:
         self.dep.close()
+
+
+class ProcessHarness(ThreadedHarness):
+    """Same driver surface as ThreadedHarness (spawn/futures/close), but
+    every provider actor is a separate OS process reached through the
+    pickle-frame wire codec."""
+
+    name = "process"
+
+    def __init__(self) -> None:
+        self.dep = build_process(SPEC)
 
 
 class SimulatedHarness:
@@ -140,7 +153,9 @@ class SimulatedHarness:
 
 
 def all_harnesses():
-    return [InprocHarness(), ThreadedHarness(), SimulatedHarness()]
+    return [
+        InprocHarness(), ThreadedHarness(), ProcessHarness(), SimulatedHarness()
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -248,7 +263,16 @@ def _run_serial(harness):
     blob_id = harness.run(alloc_protocol(TOTAL, PAGE))
     outcome = harness.run(serial_program(blob_id, harness.dep.router))
     assert outcome["errors"] == [], f"{harness.name}: {outcome['errors']}"
+    # Snapshot wire counters *before* the fingerprint reads below: on the
+    # process deployment the inspection surface itself issues RPCs
+    # (data.dump_pages / meta.dump_nodes), which would otherwise fold the
+    # act of measuring into the measured workload.
+    driver = getattr(harness.dep, "driver", None)
+    server_stats = (
+        driver.server_stats() if hasattr(driver, "server_stats") else None
+    )
     return {
+        "server_stats": server_stats,
         "blob_id": blob_id,
         "outcome": outcome,
         "patches": harness.dep.vm.patches(blob_id),
@@ -267,7 +291,7 @@ def test_serial_workload_bit_identical_across_drivers():
             harness.close()
     ref = results["inproc"]
     assert ref["latest"] == N_SERIAL_OPS
-    for name in ("threaded", "simulated"):
+    for name in ("threaded", "process", "simulated"):
         got = results[name]
         assert got["blob_id"] == ref["blob_id"]
         assert got["outcome"]["versions"] == ref["outcome"]["versions"]
@@ -435,7 +459,7 @@ def test_concurrent_workload_equivalent_across_drivers():
         expected_final[lo : lo + PAGES_PER_CLIENT * PAGE] = own_range_states(c)[-1]
     assert ref["final"] == bytes(expected_final)
 
-    for name in ("threaded", "simulated"):
+    for name in ("threaded", "process", "simulated"):
         got = results[name]
         assert got["final"] == ref["final"], f"{name}: final blob bytes differ"
         # page identity is placement- and version-order-independent:
@@ -448,20 +472,30 @@ def test_concurrent_workload_equivalent_across_drivers():
 
 
 def test_transport_batching_equivalent_sub_calls():
-    """The threaded and simulated drivers must issue identical wire-RPC
-    and sub-call counts for an identical serial workload — both execute
-    exactly the groups `plan_wire_groups` plans (shared framing)."""
-    threaded, simulated = ThreadedHarness(), SimulatedHarness()
+    """The threaded, process and simulated drivers must issue identical
+    wire-RPC and sub-call counts for an identical serial workload — all
+    three execute exactly the groups `plan_wire_groups` plans (shared
+    framing); for the process driver the counts are reported by the worker
+    processes themselves over the control channel."""
+    threaded, process, simulated = (
+        ThreadedHarness(), ProcessHarness(), SimulatedHarness()
+    )
     try:
         t = _run_serial(threaded)
+        p = _run_serial(process)
         s = _run_serial(simulated)
-        assert t["pages"] == s["pages"]
-        t_rpcs = sum(r for r, _ in threaded.dep.driver.server_stats().values())
-        t_calls = sum(c for _, c in threaded.dep.driver.server_stats().values())
+        assert t["pages"] == s["pages"] == p["pages"]
+        t_stats, p_stats = t["server_stats"], p["server_stats"]
+        t_rpcs = sum(r for r, _ in t_stats.values())
+        t_calls = sum(c for _, c in t_stats.values())
+        assert t_stats == p_stats, (
+            "process and threaded drivers framed the same workload differently"
+        )
         assert (t_rpcs, t_calls) == (
             simulated.dep.executor.wire_rpcs,
             simulated.dep.executor.sub_calls,
         ), "threaded and simulated drivers framed the same workload differently"
     finally:
         threaded.close()
+        process.close()
         simulated.close()
