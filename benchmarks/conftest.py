@@ -37,6 +37,10 @@ class BenchProfile:
     #: (empty = skipped; only the full profile pays for it)
     fig3c_lsst_clients: tuple[int, ...] = ()
     fig3c_lsst_iterations: int = 6
+    #: provider-scaling sweep beyond the paper's 20-node testbed
+    #: (empty = skipped; only the full profile pays for it)
+    fig3c_provider_grid: tuple[int, ...] = ()
+    fig3c_provider_iterations: int = 6
 
 
 @pytest.fixture(scope="session")
@@ -50,6 +54,7 @@ def profile() -> BenchProfile:
             ablation_clients=(1, 2, 4, 8, 16),
             ablation_iterations=15,
             fig3c_lsst_clients=(20, 32, 48, 64),
+            fig3c_provider_grid=(40, 80, 160),
         )
     return BenchProfile(
         full=False,

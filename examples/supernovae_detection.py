@@ -12,19 +12,39 @@ Ground truth is known (events are injected), so the script reports
 precision and recall at the end.
 
 Run: python examples/supernovae_detection.py
+
+The same survey also runs against a real multi-process TCP cluster —
+eight node agents launched on loopback ports, every tile write and scan
+crossing actual sockets (the paper's deployment architecture, §III):
+
+    python examples/supernovae_detection.py --deploy tcp
 """
 
-from repro import DeploymentSpec, build_inproc
+import argparse
+
+from repro import DeploymentSpec, build_inproc, build_tcp
 from repro.sky import SkyModel, SkySpec, SupernovaPipeline
 from repro.util.sizes import human_size
 
 EPOCHS = 10
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--deploy", choices=("inproc", "tcp"), default="inproc",
+        help="run in-process (default) or against a loopback TCP cluster "
+        "of node-agent OS processes",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=EPOCHS,
+        help=f"survey epochs (default {EPOCHS})",
+    )
+    args = parser.parse_args(argv)
+
     spec = SkySpec(tiles_x=3, tiles_y=3, seed=2026)
     model = SkyModel.with_random_events(
-        spec, n_supernovae=4, n_variables=5, epochs=EPOCHS
+        spec, n_supernovae=4, n_variables=5, epochs=args.epochs
     )
     print(f"synthetic sky: {spec.tiles_x}x{spec.tiles_y} tiles of "
           f"{spec.tile_width}x{spec.tile_height} px "
@@ -32,12 +52,23 @@ def main() -> None:
     print(f"injected ground truth: {len(model.supernovae)} supernovae, "
           f"{len(model.variables)} variable stars\n")
 
-    dep = build_inproc(DeploymentSpec(n_data=8, n_meta=8))
-    pipe = SupernovaPipeline(model, dep.client("survey"))
-    print(f"sky blob: {human_size(pipe.mapping.blob_size)} logical, "
-          f"tile slot {human_size(pipe.mapping.tile_slot_bytes)}\n")
+    dep_spec = DeploymentSpec(n_data=8, n_meta=8)
+    if args.deploy == "tcp":
+        dep = build_tcp(dep_spec)
+        print(f"TCP cluster: {len(dep.agents)} node agents on loopback "
+              f"({', '.join(str(a.endpoint) for a in dep.agents)})\n")
+    else:
+        dep = build_inproc(dep_spec)
+    try:
+        pipe = SupernovaPipeline(model, dep.client("survey"))
+        print(f"sky blob: {human_size(pipe.mapping.blob_size)} logical, "
+              f"tile slot {human_size(pipe.mapping.tile_slot_bytes)}\n")
 
-    report = pipe.run_campaign(epochs=EPOCHS)
+        report = pipe.run_campaign(epochs=args.epochs)
+    finally:
+        close = getattr(dep, "close", None)
+        if close is not None:
+            close()
 
     print("epoch -> published blob version:")
     for epoch, version in enumerate(report.epoch_versions):

@@ -32,6 +32,7 @@ from repro.version.diff import changed_ranges
 from repro.deploy.inproc import InprocDeployment, build_inproc
 from repro.deploy.process import ProcessDeployment, build_process
 from repro.deploy.simulated import SimClient, SimDeployment
+from repro.deploy.tcp import TcpDeployment, build_tcp
 from repro.deploy.threaded import ThreadedDeployment, build_threaded
 from repro.errors import (
     BlobNotFound,
@@ -72,6 +73,8 @@ __all__ = [
     "build_threaded",
     "ProcessDeployment",
     "build_process",
+    "TcpDeployment",
+    "build_tcp",
     "ClusterSpec",
     "LATEST",
     "KB",

@@ -63,6 +63,11 @@ class DeploymentSpec:
     #: data providers checksum real pages on put and verify on get
     #: (integrity mode: provider-side CPU work, see providers.page)
     page_checksums: bool = False
+    #: TCP deployment only: actor name -> "host:port" of the node agent
+    #: serving it (e.g. {"data/0": "10.0.0.5:7000"}). Empty = the builder
+    #: launches a loopback cluster of agents itself; non-empty = connect
+    #: to agents an operator already runs (real hosts, same code path).
+    endpoints: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.n_data < 1 or self.n_meta < 1 or self.n_clients < 1:
@@ -73,3 +78,9 @@ class DeploymentSpec:
             raise ConfigError("replication exceeds provider count")
         if self.cache_capacity < 0:
             raise ConfigError("cache_capacity must be >= 0")
+        for name, endpoint in self.endpoints.items():
+            if not isinstance(name, str) or not isinstance(endpoint, str):
+                raise ConfigError(
+                    "endpoints must map actor names ('data/0') to "
+                    f"'host:port' strings, got {name!r}: {endpoint!r}"
+                )

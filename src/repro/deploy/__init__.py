@@ -1,6 +1,6 @@
 """Deployment builders: wire actors, drivers and clients together.
 
-Four deployments mirror the four drivers:
+Five deployments mirror the five drivers:
 
 - :func:`~repro.deploy.inproc.build_inproc` — everything in one thread;
   the functional substrate for tests, examples and the sky pipeline.
@@ -10,6 +10,9 @@ Four deployments mirror the four drivers:
 - :func:`~repro.deploy.process.build_process` — each provider actor in
   its own OS process (pickle frames over pipes, no shared GIL); the
   real-parallelism deployment whose throughput numbers are meaningful.
+- :func:`~repro.deploy.tcp.build_tcp` — provider actors behind node
+  agents reached over real TCP connections: the cluster deployment,
+  launched as loopback OS processes (CI) or dialed on real hosts.
 - :class:`~repro.deploy.simulated.SimDeployment` — actors on simulated
   cluster nodes with calibrated costs; the benchmark substrate.
 """
@@ -17,6 +20,7 @@ Four deployments mirror the four drivers:
 from repro.deploy.inproc import InprocDeployment, build_inproc
 from repro.deploy.threaded import ThreadedDeployment, build_threaded
 from repro.deploy.process import ProcessDeployment, build_process
+from repro.deploy.tcp import TcpDeployment, build_tcp
 from repro.deploy.simulated import SimClient, SimDeployment
 
 __all__ = [
@@ -26,6 +30,8 @@ __all__ = [
     "build_threaded",
     "ProcessDeployment",
     "build_process",
+    "TcpDeployment",
+    "build_tcp",
     "SimDeployment",
     "SimClient",
 ]

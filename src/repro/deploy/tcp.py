@@ -1,0 +1,332 @@
+"""TCP deployment: the blob store as an actual cluster of OS processes.
+
+Two modes, one code path:
+
+- **launched** (default, ``spec.endpoints`` empty): for every cluster
+  node the builder spawns ``python -m repro.tools.node`` as an
+  independent OS process bound to an ephemeral loopback port — the
+  paper's layout, one agent hosting ``data/i`` + ``meta/i`` per node
+  (``spec.colocate``), started, dialed, certified and torn down entirely
+  by this module. This is the single-host CI cluster.
+- **connected** (``spec.endpoints`` or the ``endpoints=`` argument
+  given): the agents are already running — launched by an operator, an
+  init system, or on other hosts entirely — and the builder only dials
+  them. Nothing else changes: same driver, same handshake, same
+  protocols.
+
+As in the process deployment, the version manager and provider manager —
+the intentional serialization points, whose RPCs are tiny — live in the
+driver process on dedicated service threads, and the data/metadata
+providers (where the paper's parallelism lives) are remote. The
+inspection surface (``blob_nodes``, ``total_pages_stored``,
+``transport_stats``, ``server_stats``) is deployment-parity by
+construction: the same proxy classes the process deployment uses, now
+fetching over TCP.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.client import BlobClient
+from repro.core.config import DeploymentSpec
+from repro.errors import ConfigError
+from repro.metadata.router import StaticRouter
+from repro.net.address import ClusterMap, Endpoint, format_actor
+from repro.net.tcp import TcpDriver
+from repro.providers.manager import ProviderManager
+from repro.providers.strategies import make_strategy
+from repro.version.manager import VersionManager
+
+# the TCP deployment reuses the process deployment's proxy classes: they
+# only need RemoteActorDriver.call, which both drivers inherit
+from repro.deploy.process import DataProviderProxy, MetadataProviderProxy
+
+#: how long the builder waits for a launched agent's READY line
+LAUNCH_TIMEOUT = 30.0
+
+
+class _AgentProcess:
+    """One launched ``repro.tools.node`` OS process."""
+
+    def __init__(self, actor_names: list[str], host: str, checksum: bool) -> None:
+        self.actor_names = actor_names
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.tools.node",
+            "--host",
+            host,
+            "--port",
+            "0",
+        ]
+        for name in actor_names:
+            argv += ["--actor", name]
+        if checksum:
+            argv.append("--checksum")
+        # the agent must import repro no matter how the parent found it
+        src_dir = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            src_dir + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src_dir
+        )
+        self.proc = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, env=env, text=True
+        )
+        self.endpoint: Endpoint | None = None
+
+    def wait_ready(self, deadline: float) -> Endpoint:
+        """Block (bounded) for the agent's ``READY host port`` line."""
+        stdout = self.proc.stdout
+        assert stdout is not None
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"agent {self.actor_names} not READY within {LAUNCH_TIMEOUT}s"
+                )
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"agent {self.actor_names} exited with code "
+                    f"{self.proc.returncode} before READY"
+                )
+            ready, _, _ = select.select([stdout], [], [], min(remaining, 0.2))
+            if not ready:
+                continue
+            line = stdout.readline()
+            if not line:
+                continue  # poll() above surfaces the exit next iteration
+            parts = line.split()
+            if len(parts) == 3 and parts[0] == "READY":
+                self.endpoint = Endpoint(parts[1], int(parts[2]))
+                return self.endpoint
+            raise RuntimeError(
+                f"agent {self.actor_names} printed {line!r}, expected READY"
+            )
+
+    def reap(self, timeout: float = 10.0) -> int | None:
+        """Wait for exit; escalate to terminate/kill on a hung agent."""
+        try:
+            return self.proc.wait(timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.terminate()
+        try:
+            return self.proc.wait(5)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+        try:
+            return self.proc.wait(5)
+        except subprocess.TimeoutExpired:  # pragma: no cover - unkillable
+            return None
+
+    def kill(self) -> None:
+        self.proc.kill()
+        try:
+            self.proc.wait(10)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            pass
+
+    def close_pipe(self) -> None:
+        if self.proc.stdout is not None:
+            try:
+                self.proc.stdout.close()
+            except OSError:
+                pass
+
+
+@dataclass
+class TcpDeployment:
+    spec: DeploymentSpec
+    driver: TcpDriver
+    router: StaticRouter
+    vm: VersionManager
+    pm: ProviderManager
+    data: dict[int, DataProviderProxy]
+    meta: dict[int, MetadataProviderProxy]
+    cluster_map: ClusterMap
+    #: launched loopback agents (empty in connected mode)
+    agents: list[_AgentProcess] = field(default_factory=list)
+    _clients: list[BlobClient] = field(default_factory=list)
+
+    def client(self, name: str | None = None) -> BlobClient:
+        c = BlobClient(
+            self.driver,
+            self.router,
+            name=name,
+            cache_capacity=self.spec.cache_capacity,
+        )
+        self._clients.append(c)
+        return c
+
+    @property
+    def data_ids(self) -> list[int]:
+        return sorted(self.data)
+
+    @property
+    def meta_ids(self) -> list[int]:
+        return sorted(self.meta)
+
+    def total_pages_stored(self) -> int:
+        return sum(p.page_count for p in self.data.values())
+
+    def blob_nodes(self, blob_id: str) -> list:
+        """Every stored tree node of a blob across all metadata providers
+        (inspection surface shared with the other deployments; the
+        cross-driver conformance suite compares these). Fetched over the
+        wire, one ``meta.dump_nodes`` RPC per provider."""
+        return [
+            node
+            for proxy in self.meta.values()
+            for node in proxy.iter_nodes(blob_id)
+        ]
+
+    def transport_stats(self) -> dict[str, int]:
+        """Batched-transport counters (see ThreadedDriver.transport_stats)."""
+        return self.driver.transport_stats()
+
+    # -- failure injection ------------------------------------------------
+
+    def kill_agent(self, index: int) -> None:
+        """SIGKILL one launched node agent: every actor it hosts becomes a
+        dead peer (RemoteError fail-fast + replica fail-over)."""
+        self.agents[index].kill()
+
+    def agent_index_for(self, address) -> int:
+        """Which launched agent hosts an actor (colocation-aware)."""
+        name = format_actor(address)
+        for i, agent in enumerate(self.agents):
+            if name in agent.actor_names:
+                return i
+        raise KeyError(f"no launched agent hosts {name!r}")
+
+    # -- lifecycle --------------------------------------------------------
+
+    def agent_exitcodes(self) -> list[int | None]:
+        """Exit codes after :meth:`close` (0 = clean shutdown)."""
+        return [a.proc.returncode for a in self.agents]
+
+    def close(self) -> None:
+        # orderly: every peer sends its actor the shutdown control, so
+        # each agent's serve_forever returns once its last actor stops
+        self.driver.close()
+        for agent in self.agents:
+            agent.reap()
+            agent.close_pipe()
+
+    def __enter__(self) -> "TcpDeployment":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def plan_loopback_nodes(spec: DeploymentSpec) -> list[list[str]]:
+    """Actor names per launched node, the paper's colocated layout:
+    node ``i`` hosts ``data/i`` and ``meta/i`` (``spec.colocate``), or
+    one agent per actor when colocation is off."""
+    data = [format_actor(("data", i)) for i in range(spec.n_data)]
+    meta = [format_actor(("meta", i)) for i in range(spec.n_meta)]
+    if not spec.colocate:
+        return [[name] for name in data + meta]
+    nodes = []
+    for i in range(max(spec.n_data, spec.n_meta)):
+        node = []
+        if i < spec.n_data:
+            node.append(data[i])
+        if i < spec.n_meta:
+            node.append(meta[i])
+        nodes.append(node)
+    return nodes
+
+
+def build_tcp(
+    spec: DeploymentSpec | None = None,
+    *,
+    endpoints: dict[str, str] | ClusterMap | None = None,
+    host: str = "127.0.0.1",
+    connect_timeout: float = 5.0,
+) -> TcpDeployment:
+    """Assemble a TCP cluster deployment (context-manage it to stop it).
+
+    With no ``endpoints`` (and an empty ``spec.endpoints``) a loopback
+    cluster of node-agent OS processes is launched; otherwise the given
+    agents are dialed. Either way the builder blocks until every peer
+    holds a live connection, so a returned deployment is serving.
+    """
+    spec = spec or DeploymentSpec()
+    endpoints = endpoints if endpoints is not None else (spec.endpoints or None)
+
+    agents: list[_AgentProcess] = []
+    try:
+        if endpoints is None:
+            deadline = time.monotonic() + LAUNCH_TIMEOUT
+            # append one at a time: if the k-th launch raises (EMFILE,
+            # ENOMEM), the k-1 agents already running must be visible to
+            # the except-cleanup below, or they leak as orphan processes
+            for names in plan_loopback_nodes(spec):
+                agents.append(_AgentProcess(names, host, spec.page_checksums))
+            cluster_map = ClusterMap()
+            for agent in agents:
+                endpoint = agent.wait_ready(deadline)
+                for name in agent.actor_names:
+                    cluster_map.add(name, endpoint)
+        else:
+            cluster_map = (
+                endpoints
+                if isinstance(endpoints, ClusterMap)
+                else ClusterMap.from_spec(endpoints)
+            )
+        for i in range(spec.n_data):
+            if ("data", i) not in cluster_map:
+                raise ConfigError(f"no endpoint for actor 'data/{i}'")
+        for i in range(spec.n_meta):
+            if ("meta", i) not in cluster_map:
+                raise ConfigError(f"no endpoint for actor 'meta/{i}'")
+
+        vm = VersionManager()
+        pm = ProviderManager(
+            make_strategy(spec.strategy, **spec.strategy_kwargs),
+            replication=spec.replication,
+        )
+        for i in range(spec.n_data):
+            pm.register(i)
+        driver = TcpDriver(connect_timeout=connect_timeout)
+        try:
+            driver.register("vm", vm)
+            driver.register("pm", pm)
+            for i in range(spec.n_data):
+                driver.register_remote(("data", i), cluster_map.endpoint_for(("data", i)))
+            for i in range(spec.n_meta):
+                driver.register_remote(("meta", i), cluster_map.endpoint_for(("meta", i)))
+            driver.wait_connected(timeout=max(connect_timeout, 10.0))
+        except BaseException:
+            driver.close()
+            raise
+    except BaseException:
+        for agent in agents:
+            agent.kill()
+            agent.close_pipe()
+        raise
+
+    router = StaticRouter(list(range(spec.n_meta)), replication=spec.replication)
+    data = {i: DataProviderProxy(driver, i) for i in range(spec.n_data)}
+    meta = {i: MetadataProviderProxy(driver, i) for i in range(spec.n_meta)}
+    return TcpDeployment(
+        spec=spec,
+        driver=driver,
+        router=router,
+        vm=vm,
+        pm=pm,
+        data=data,
+        meta=meta,
+        cluster_map=cluster_map,
+        agents=agents,
+    )

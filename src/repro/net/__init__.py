@@ -13,6 +13,9 @@ drivers execute them:
 - :class:`~repro.net.process.ProcessDriver` — one OS process per provider
   actor, length-prefixed pickle frames (:mod:`repro.net.codec`) over
   pipes: real parallelism, no shared GIL, meaningful throughput;
+- :class:`~repro.net.tcp.TcpDriver` — actors behind ``host:port`` node
+  agents (:mod:`repro.net.node`), same frames over real TCP connections
+  with reconnect-safe fail-over: the multi-host cluster deployment;
 - :class:`~repro.net.simdriver.SimRpcExecutor` — runs protocols as processes
   on the discrete-event cluster with full cost accounting, used by every
   benchmark.
@@ -23,9 +26,12 @@ target the same destination travel in a single wire RPC (paper §V.A).
 
 from repro.net.sansio import Batch, Call, Compute, Protocol, run_inproc
 from repro.net.message import estimate_size
+from repro.net.address import ClusterMap, Endpoint, format_actor, parse_actor
 from repro.net.inproc import InprocDriver
 from repro.net.threaded import ThreadedDriver
 from repro.net.process import ProcessDriver
+from repro.net.node import NodeAgent
+from repro.net.tcp import TcpDriver
 from repro.net.simdriver import SimRpcExecutor
 
 __all__ = [
@@ -35,8 +41,14 @@ __all__ = [
     "Protocol",
     "run_inproc",
     "estimate_size",
+    "ClusterMap",
+    "Endpoint",
+    "format_actor",
+    "parse_actor",
     "InprocDriver",
     "ThreadedDriver",
     "ProcessDriver",
+    "NodeAgent",
+    "TcpDriver",
     "SimRpcExecutor",
 ]

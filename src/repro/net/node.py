@@ -1,0 +1,380 @@
+"""Node agent: hosts actors behind a TCP listener.
+
+This is the server half of the cluster subsystem — the piece that runs on
+every storage host. One agent process listens on one ``host:port``
+endpoint and hosts any number of actors (the paper's layout colocates one
+data and one metadata provider per node). Clients are
+:class:`~repro.net.tcp.TcpDriver` peers; the wire protocol is exactly the
+worker-process protocol (:mod:`repro.net.codec` messages carrying
+``("rpc", sub_calls)`` and ``stats``/``shutdown`` controls), prefixed by
+one handshake:
+
+1. the connecting peer sends ``("hello", actor_name)`` naming the actor
+   this connection will serve (``"data/3"`` — see
+   :mod:`repro.net.address`);
+2. the agent answers ``("welcome", actor_name)`` and binds the connection
+   to that actor, or ``("reject", reason)`` and closes it.
+
+Actor confinement is preserved exactly as in the threaded and process
+drivers: every actor is served by a single dedicated service thread with
+an inbox queue, so actor code needs no locking no matter how many
+connections (a live driver plus a reconnecting one, say) feed it.
+Connection pump threads only decode and enqueue; replies go out on the
+connection the request arrived on.
+
+An agent shuts down when every actor it hosts has received the
+``shutdown`` control — the driver's orderly close — at which point
+:meth:`NodeAgent.serve_forever` returns and the CLI wrapper
+(:mod:`repro.tools.node`) exits 0.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Mapping
+
+from repro.errors import ConfigError, RemoteError
+from repro.net.address import Endpoint, format_actor, parse_actor
+from repro.net.codec import (
+    MessageDecoder,
+    WireCodecError,
+    decode_body,
+    encode_message,
+)
+from repro.net.sansio import Actor, Address
+from repro.net.wire import (
+    CTL_SHUTDOWN,
+    CTL_STATS,
+    RECV_CHUNK,
+    encode_reply,
+    force_close,
+    run_calls,
+    tune_socket,
+)
+
+#: the reserved request id both handshake messages travel under
+HANDSHAKE_REQ_ID = 0
+
+
+def build_actor(name: str, *, checksum: bool = False) -> tuple[Address, Actor]:
+    """Construct the actor a CLI ``--actor`` spec names.
+
+    ``data/N`` and ``meta/N`` build providers (the actors a cluster
+    distributes); ``vm`` builds a version manager for deployments that
+    want the serialization point on its own host. ``pm`` is deliberately
+    not constructible here: the provider manager needs deployment-wide
+    registration of every data provider, which only the deployment
+    builder knows.
+    """
+    address = parse_actor(name)
+    if isinstance(address, tuple):
+        kind, index = address
+        if kind == "data":
+            from repro.providers.data_provider import DataProvider
+
+            return address, DataProvider(index, checksum=checksum)
+        if kind == "meta":
+            from repro.metadata.provider import MetadataProvider
+
+            return address, MetadataProvider(index)
+    elif address == "vm":
+        from repro.version.manager import VersionManager
+
+        return address, VersionManager()
+    raise ConfigError(
+        f"cannot build actor {name!r}: expected data/N, meta/N or vm"
+    )
+
+
+class _ActorService:
+    """One hosted actor: its service thread, inbox and wire counters."""
+
+    def __init__(self, agent: "NodeAgent", address: Address, actor: Actor) -> None:
+        self.agent = agent
+        self.address = address
+        self.name = format_actor(address)
+        self.actor = actor
+        self.inbox: queue.SimpleQueue = queue.SimpleQueue()
+        self.served_rpcs = 0
+        self.served_calls = 0
+        self.stopped = False
+        self.thread = threading.Thread(
+            target=self._loop, name=f"agent-{self.name}", daemon=True
+        )
+        self.thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            item = self.inbox.get()
+            if item is None:
+                return  # force-stop from NodeAgent.close()
+            conn, req_id, kind, payload = item
+            if kind == "rpc":
+                self.served_rpcs += 1
+                self.served_calls += len(payload)
+                reply = encode_reply(
+                    req_id, run_calls(self.actor, self.address, payload)
+                )
+            elif kind == CTL_STATS:
+                reply = encode_message(
+                    req_id,
+                    {
+                        "wire_rpcs": self.served_rpcs,
+                        "sub_calls": self.served_calls,
+                    },
+                )
+            elif kind == CTL_SHUTDOWN:
+                self._reply(conn, encode_message(req_id, True))
+                self.stopped = True
+                self.agent._actor_done(self.name)
+                return
+            else:
+                reply = encode_message(
+                    req_id,
+                    RemoteError("UnknownControl", f"bad message kind {kind!r}"),
+                )
+            self._reply(conn, reply)
+
+    @staticmethod
+    def _reply(conn: socket.socket, frame: bytes) -> None:
+        # A dead connection is the *peer's* problem: its channel drains
+        # in-flight calls as RemoteError the moment it sees EOF, so the
+        # reply it will never read is simply dropped here.
+        try:
+            conn.sendall(frame)
+        except (OSError, ValueError):
+            pass
+
+
+class NodeAgent:
+    """Serves a set of actors on one TCP endpoint.
+
+    Library object (the CLI in :mod:`repro.tools.node` wraps it): tests
+    run agents in-thread via :meth:`start`, deployments run them as OS
+    processes. ``port=0`` binds an ephemeral port; read :attr:`endpoint`
+    for the real one.
+    """
+
+    def __init__(
+        self,
+        actors: Mapping[Address | str, Actor],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._services: dict[str, _ActorService] = {}
+        for address, actor in actors.items():
+            if isinstance(address, str) and "/" in address:
+                address = parse_actor(address)
+            name = format_actor(address)
+            if name in self._services:
+                raise ConfigError(f"actor {name!r} hosted twice")
+            self._services[name] = _ActorService(self, address, actor)
+        if not self._services:
+            raise ConfigError("a node agent needs at least one actor")
+        self._listener = socket.create_server((host, port))
+        bound = self._listener.getsockname()
+        self.endpoint = Endpoint(host, bound[1])
+        self._lock = threading.Lock()
+        self._conns: set[socket.socket] = set()
+        self._active = len(self._services)
+        self._stopped = threading.Event()
+        self._serving = threading.Event()  # serve_forever entered
+        self._serve_done = threading.Event()  # serve_forever returned
+        self._serve_thread: threading.Thread | None = None
+
+    @property
+    def actor_names(self) -> list[str]:
+        return list(self._services)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept connections until every hosted actor is shut down.
+
+        The listener polls with a short timeout rather than blocking
+        indefinitely: closing a listening socket from another thread
+        does *not* wake a blocked ``accept()`` on Linux, so a pure
+        blocking loop would hang the agent's clean exit forever.
+        """
+        self._serving.set()
+        try:
+            self._listener.settimeout(0.25)
+            while not self._stopped.is_set():
+                try:
+                    conn, _peer = self._listener.accept()
+                except TimeoutError:
+                    continue
+                except OSError:
+                    break  # listener closed: agent is done
+                conn.setblocking(True)
+                threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name=f"conn-{self.endpoint}",
+                    daemon=True,
+                ).start()
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._close_conns()
+        finally:
+            self._serve_done.set()
+
+    def start(self) -> threading.Thread:
+        """Serve on a background thread (in-process agents for tests)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name=f"agent-{self.endpoint}", daemon=True
+        )
+        self._serve_thread = thread
+        thread.start()
+        return thread
+
+    def wait_stopped(self, timeout: float | None = None) -> bool:
+        return self._stopped.wait(timeout)
+
+    def _actor_done(self, name: str) -> None:
+        """An actor finished its shutdown control; last one out closes."""
+        with self._lock:
+            self._active -= 1
+            done = self._active <= 0
+        if done:
+            self._stopped.set()
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Force-stop: close the listener and every connection.
+
+        This is the *unclean* path (tests use it to simulate an agent
+        lost to the network); the clean path is per-actor ``shutdown``
+        controls arriving over the wire.
+
+        Blocks until the serve loop has actually exited: closing the
+        listener's fd does not release the bound port while the loop's
+        in-flight ``accept`` poll still references the socket, and a
+        caller restarting an agent on the same port (the reconnect
+        scenario) must not race that release window.
+        """
+        self._stopped.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for service in self._services.values():
+            service.inbox.put(None)
+        self._close_conns()
+        if self._serving.is_set():
+            self._serve_done.wait(2.0)
+
+    def drop_connections(self) -> None:
+        """Sever every live connection but keep serving (network blip)."""
+        self._close_conns()
+
+    def _close_conns(self) -> None:
+        with self._lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            force_close(conn)
+
+    # -- connection service ----------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        tune_socket(conn)
+        with self._lock:
+            self._conns.add(conn)
+        try:
+            handshook = self._handshake(conn)
+            if handshook is None:
+                return
+            # keep the handshake's decoder: a client that pipelines RPCs
+            # behind its hello may have left complete messages (drained
+            # with an empty feed below) or a partial frame (must stay
+            # buffered) — a fresh decoder would desynchronize the stream
+            service, decoder = handshook
+            chunk = b""
+            while True:
+                for req_id, body in decoder.feed(chunk):
+                    kind, payload = decode_body(body)
+                    service.inbox.put((conn, req_id, kind, payload))
+                try:
+                    chunk = conn.recv(RECV_CHUNK)
+                except OSError:
+                    return
+                if not chunk:
+                    return
+        except WireCodecError:
+            return  # corrupt stream: drop the connection, keep the agent
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+            force_close(conn)
+
+    def _handshake(
+        self, conn: socket.socket
+    ) -> tuple[_ActorService, MessageDecoder] | None:
+        """Read ``("hello", name)``; answer welcome/reject.
+
+        Returns the bound service *and* the decoder holding whatever
+        bytes arrived behind the hello, so the caller's service loop
+        resumes the stream exactly where the handshake left it."""
+        decoder = MessageDecoder()
+        first: tuple[int, bytes] | None = None
+        while first is None:
+            try:
+                chunk = conn.recv(RECV_CHUNK)
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            for msg in decoder.feed(chunk):
+                first = msg
+                break
+        req_id, body = first
+        hello = decode_body(body)
+        if (
+            not isinstance(hello, tuple)
+            or len(hello) != 2
+            or hello[0] != "hello"
+        ):
+            self._reject(conn, req_id, f"expected hello handshake, got {hello!r}")
+            return None
+        name = hello[1]
+        service = self._services.get(name)
+        if service is None:
+            self._reject(
+                conn,
+                req_id,
+                f"agent at {self.endpoint} hosts {self.actor_names}, "
+                f"not {name!r}",
+            )
+            return None
+        if service.stopped:
+            self._reject(conn, req_id, f"actor {name!r} is shut down")
+            return None
+        try:
+            conn.sendall(encode_message(req_id, ("welcome", name)))
+        except OSError:
+            return None
+        return service, decoder
+
+    @staticmethod
+    def _reject(conn: socket.socket, req_id: int, reason: str) -> None:
+        try:
+            conn.sendall(encode_message(req_id, ("reject", reason)))
+        except OSError:
+            pass
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict[str, tuple[int, int]]:
+        """Per-actor ``(wire_rpcs, sub_calls)`` (in-process inspection)."""
+        return {
+            name: (s.served_rpcs, s.served_calls)
+            for name, s in self._services.items()
+        }

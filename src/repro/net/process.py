@@ -15,20 +15,22 @@ execute exactly the wire groups planned by
 batch carrying all of that destination's sub-calls, and at most one
 completion wakeup per batch (the caller-side latch is shared with the
 threaded driver). The cross-driver conformance suite asserts wire-RPC and
-sub-call counts match the threaded/simulated transports bit for bit.
+sub-call counts match the threaded/simulated/TCP transports bit for bit.
 
-The wire is engineered for throughput, not just correctness:
+The caller-side connection machinery — pending-request registry, sender
+thread per peer, header-only reply routing, drain-as-``RemoteError`` on
+peer death — is :class:`repro.net.wire.RpcChannel`, shared verbatim with
+the TCP driver; what is specific here is the *connection kind* (an
+inherited ``socketpair``) and the worker lifecycle:
 
-- one ``sendall`` per message (the codec's length prefix is the only
-  framing — no double-framing through ``Connection``), with enlarged
-  socket buffers so a caller rarely blocks on a busy worker's inbox;
-- replies are routed by the 12-byte message header alone: the per-worker
-  receiver thread never unpickles a body, it hands the raw bytes to the
-  batch latch and the *caller* thread decodes its own results — megabyte
-  page payloads never serialize behind one receiver's GIL slice;
 - with the ``forkserver`` start method the package is preloaded into the
   fork server, so workers fork with warm modules instead of each paying
-  a full interpreter boot on the deployment's first RPC.
+  a full interpreter boot on the deployment's first RPC;
+- a worker that dies — crash, kill, codec corruption — completes every
+  in-flight and future call against it with a
+  :class:`~repro.errors.RemoteError`, so protocols fail over across
+  replicas after a worker loss exactly as they do after an injected
+  actor crash; nothing blocks on a corpse.
 
 Topology: actors that *are* the serialization point by design — the
 version manager and provider manager — stay in the parent process on
@@ -38,18 +40,10 @@ data/metadata providers, where the paper's parallelism lives, each get a
 worker process. Any actor can be placed either way via
 :meth:`ProcessDriver.register` (in-parent service thread) or
 :meth:`ProcessDriver.register_process` (worker process).
-
-Failure semantics: a worker that dies — crash, kill, codec corruption —
-completes every in-flight and future call against it with a
-:class:`~repro.errors.RemoteError`, delivered through the same
-``allow_error`` machinery as handler exceptions. Protocols therefore fail
-over across replicas after a worker loss exactly as they do after an
-injected actor crash; nothing blocks on a corpse.
 """
 
 from __future__ import annotations
 
-import itertools
 import multiprocessing
 import os
 import queue
@@ -58,38 +52,21 @@ import threading
 from typing import Any, Callable, Mapping
 
 from repro.errors import RemoteError
-from repro.net.codec import (
-    MessageDecoder,
-    WireCodecError,
-    decode_body,
-    encode_message,
+from repro.net.codec import MessageDecoder, decode_body, encode_message
+from repro.net.sansio import Actor, Address
+from repro.net.wire import (
+    CTL_SHUTDOWN,
+    CTL_STATS,
+    RECV_CHUNK,
+    RemoteActorDriver,
+    RpcChannel,
+    encode_reply,
+    run_calls,
+    tune_socket,
 )
-from repro.net.sansio import (
-    Actor,
-    Address,
-    Batch,
-    Call,
-    WireGroup,
-    deliver,
-    dispatch_call,
-    plan_wire_groups,
-)
-from repro.net.threaded import ThreadedDriver, _BatchLatch
 
 #: environment override for the multiprocessing start method
 START_METHOD_ENV = "REPRO_MP_START"
-
-#: socket receive chunk: large enough to drain several page-sized messages
-#: per syscall when replies queue up
-_RECV_CHUNK = 1 << 20
-
-#: requested SO_SNDBUF/SO_RCVBUF: lets a full page batch leave the caller
-#: in one non-blocking sendall even while the worker is mid-computation
-_SOCK_BUF = 1 << 20
-
-#: control message kinds understood by the worker loop (beyond "rpc")
-_CTL_STATS = "stats"
-_CTL_SHUTDOWN = "shutdown"
 
 
 def _default_start_method() -> str:
@@ -170,14 +147,6 @@ def parallel_speedup_probe(n: int = 3_000_000) -> float:
                 p.kill()
 
 
-def _tune_socket(sock: socket.socket) -> None:
-    for opt in (socket.SO_SNDBUF, socket.SO_RCVBUF):
-        try:
-            sock.setsockopt(socket.SOL_SOCKET, opt, _SOCK_BUF)
-        except OSError:  # pragma: no cover - platform-capped buffers are fine
-            pass
-
-
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
@@ -206,7 +175,7 @@ def _worker_main(
     def pump() -> None:
         while True:
             try:
-                chunk = sock.recv(_RECV_CHUNK)
+                chunk = sock.recv(RECV_CHUNK)
             except OSError:
                 chunk = b""
             inbox.put(chunk)
@@ -225,19 +194,17 @@ def _worker_main(
                 if kind == "rpc":
                     served_rpcs += 1
                     served_calls += len(payload)
-                    results = [
-                        dispatch_call(actor, Call(address, method, call_args))
-                        for method, call_args in payload
-                    ]
-                    sock.sendall(_encode_reply(req_id, results))
-                elif kind == _CTL_STATS:
+                    sock.sendall(
+                        encode_reply(req_id, run_calls(actor, address, payload))
+                    )
+                elif kind == CTL_STATS:
                     sock.sendall(
                         encode_message(
                             req_id,
                             {"wire_rpcs": served_rpcs, "sub_calls": served_calls},
                         )
                     )
-                elif kind == _CTL_SHUTDOWN:
+                elif kind == CTL_SHUTDOWN:
                     sock.sendall(encode_message(req_id, True))
                     return
                 else:
@@ -253,57 +220,24 @@ def _worker_main(
         sock.close()
 
 
-def _encode_reply(req_id: int, results: list) -> bytes:
-    """Encode a result list, downgrading unpicklable values to errors.
-
-    ``dispatch_call`` already wraps handler exceptions in
-    :class:`RemoteError` (whose ``__reduce__`` drops unpicklable
-    originals), so this fallback only fires when a *successful* handler
-    returns something that cannot cross the wire — a bug worth naming
-    precisely instead of killing the worker's connection.
-    """
-    try:
-        return encode_message(req_id, results)
-    except WireCodecError:
-        safe: list[Any] = []
-        for value in results:
-            try:
-                encode_message(0, value)
-                safe.append(value)
-            except WireCodecError as exc:
-                safe.append(
-                    RemoteError(
-                        "UnpicklableResult", f"{type(value).__name__}: {exc}"
-                    )
-                )
-        return encode_message(req_id, safe)
-
-
 # ---------------------------------------------------------------------------
 # parent side
 # ---------------------------------------------------------------------------
 
 
 class _WorkerHandle:
-    """Parent-side endpoint of one worker process.
-
-    Many caller threads submit concurrently: frames go out through an
-    outbound queue drained by a dedicated sender thread (a submit never
-    blocks on socket backpressure from a busy worker), and a receiver
-    thread routes raw reply bodies (by message header alone — no
-    unpickling) to whichever batch latch is waiting. Death (EOF, kill,
-    send failure, codec corruption) drains every pending request with a
-    ``RemoteError`` and fails all future submissions fast — no caller
-    ever blocks on a dead worker.
-    """
+    """Parent-side endpoint of one worker process: an :class:`RpcChannel`
+    over the inherited socketpair, plus the process lifecycle. Death is
+    terminal — unlike a TCP peer, a killed worker process never comes
+    back, so there is no reconnect path."""
 
     def __init__(
         self, ctx, address: Address, factory: Callable, args: tuple, kwargs: dict
     ) -> None:
         self.address = address
         parent_sock, child_sock = socket.socketpair()
-        _tune_socket(parent_sock)
-        _tune_socket(child_sock)
+        tune_socket(parent_sock)
+        tune_socket(child_sock)
         self.process = ctx.Process(
             target=_worker_main,
             args=(child_sock, address, factory, args, kwargs),
@@ -312,162 +246,31 @@ class _WorkerHandle:
         )
         self.process.start()
         child_sock.close()
-        self.sock = parent_sock
-        self._pending_lock = threading.Lock()
-        #: req_id -> ("rpc", slot, latch, gen) | ("ctl", box, event);
-        #: slot/box receive the *encoded* reply body (or a RemoteError)
-        self._pending: dict[int, tuple] = {}
-        self._req_ids = itertools.count(1)
-        self._dead_reason: str | None = None
-        self._outbox: queue.SimpleQueue = queue.SimpleQueue()
-        self._recv_thread = threading.Thread(
-            target=self._recv_loop, name=f"recv-{address}", daemon=True
+        # No on_down callback: only lifecycle methods, on the caller's
+        # thread, may poll the process (forkserver's Popen.poll reads the
+        # status pipe; a concurrent poll from the channel's receiver
+        # thread would split that read and lose the exit code as a bogus
+        # 255).
+        self.channel = RpcChannel(
+            parent_sock, f"worker {address!r}", error_label="WorkerUnavailable"
         )
-        self._recv_thread.start()
-        self._send_thread = threading.Thread(
-            target=self._send_loop, name=f"send-{address}", daemon=True
-        )
-        self._send_thread.start()
-
-    # -- health ----------------------------------------------------------
 
     @property
     def dead_reason(self) -> str | None:
-        return self._dead_reason
+        return self.channel.down_reason
 
-    def _mark_dead(self, reason: str) -> None:
-        with self._pending_lock:
-            if self._dead_reason is not None:
-                return
-            self._dead_reason = reason
-            drained = list(self._pending.values())
-            self._pending.clear()
-        error = RemoteError("WorkerUnavailable", reason)
-        for entry in drained:
-            self._complete(entry, error)
-
-    @staticmethod
-    def _complete(entry: tuple, body: Any) -> None:
-        """Hand a raw reply body (or a RemoteError) to its waiter."""
-        if entry[0] == "rpc":
-            _, slot, latch, gen = entry
-            slot[0] = body
-            latch.group_done(gen)
-        else:
-            _, box, event = entry
-            box[0] = body
-            event.set()
-
-    # -- receive ---------------------------------------------------------
-
-    def _recv_loop(self) -> None:
-        decoder = MessageDecoder()
-        while True:
-            try:
-                chunk = self.sock.recv(_RECV_CHUNK)
-            except OSError:
-                chunk = b""
-            if not chunk:
-                # No process.exitcode here: forkserver's Popen.poll reads
-                # the status pipe, and a concurrent poll from stop()'s
-                # join() would split that read between two threads (both
-                # get EOF, the exit code is lost as a bogus 255). Only
-                # lifecycle methods, on the caller's thread, may poll.
-                self._mark_dead(f"worker {self.address!r} connection lost")
-                return
-            try:
-                for req_id, body in decoder.feed(chunk):
-                    with self._pending_lock:
-                        entry = self._pending.pop(req_id, None)
-                    if entry is not None:
-                        self._complete(entry, body)
-            except WireCodecError as exc:
-                self._mark_dead(
-                    f"worker {self.address!r} sent a corrupt message: {exc}"
-                )
-                return
-
-    # -- submit ----------------------------------------------------------
-
-    def submit(
-        self, group: WireGroup, slot: list, latch: _BatchLatch, gen: int
-    ) -> None:
-        """Send one wire group; the receiver thread completes the latch.
-
-        ``slot`` is the batch's one-element mailbox for this group: it
-        receives the raw reply body, which the *caller* decodes after the
-        latch releases (see ``ProcessDriver._execute_batch``).
-        """
-        payload = [(call.method, call.args) for call in group.calls]
-        with self._pending_lock:
-            reason = self._dead_reason
-            if reason is None:
-                req_id = next(self._req_ids)
-                self._pending[req_id] = ("rpc", slot, latch, gen)
-        if reason is not None:
-            slot[0] = RemoteError("WorkerUnavailable", reason)
-            latch.group_done(gen)
-            return
-        try:
-            frame = encode_message(req_id, ("rpc", payload))
-        except WireCodecError as exc:
-            # the *request* is unpicklable: that call is broken, not the
-            # worker. Complete the group only if the entry is still ours —
-            # a concurrent _mark_dead may have drained (and completed) it,
-            # and a second group_done would release the batch latch early.
-            with self._pending_lock:
-                entry = self._pending.pop(req_id, None)
-            if entry is not None:
-                slot[0] = RemoteError.wrap(exc)
-                latch.group_done(gen)
-            return
-        self._send(frame)
+    def submit(self, group, slot, latch, gen) -> None:
+        self.channel.submit(group, slot, latch, gen)
 
     def control(self, kind: str, timeout: float = 10.0) -> Any:
-        """Round-trip one control message; raises on a dead worker."""
-        box: list[Any] = [None]
-        event = threading.Event()
-        with self._pending_lock:
-            reason = self._dead_reason
-            if reason is None:
-                req_id = next(self._req_ids)
-                self._pending[req_id] = ("ctl", box, event)
-        if reason is not None:
-            raise RemoteError("WorkerUnavailable", reason)
-        self._send(encode_message(req_id, (kind, ())))
-        if not event.wait(timeout):
-            with self._pending_lock:
-                self._pending.pop(req_id, None)
-            raise TimeoutError(
-                f"worker {self.address!r} did not answer {kind!r} in {timeout}s"
-            )
-        if isinstance(box[0], RemoteError):
-            raise box[0]
-        value = decode_body(box[0])
-        if isinstance(value, RemoteError):
-            raise value
-        return value
-
-    def _send(self, frame: bytes) -> None:
-        self._outbox.put(frame)
-
-    def _send_loop(self) -> None:
-        while True:
-            frame = self._outbox.get()
-            if frame is None:
-                return
-            try:
-                self.sock.sendall(frame)
-            except (OSError, ValueError) as exc:
-                self._mark_dead(f"send to worker {self.address!r} failed: {exc!r}")
-                return
+        return self.channel.control(kind, timeout=timeout)
 
     # -- lifecycle -------------------------------------------------------
 
     def stop(self, timeout: float = 10.0) -> None:
         """Orderly shutdown; escalates to terminate/kill on a hung worker."""
         try:
-            self.control(_CTL_SHUTDOWN, timeout=timeout)
+            self.channel.control(CTL_SHUTDOWN, timeout=timeout)
         except (RemoteError, TimeoutError):
             pass  # already dead or hung; escalate below
         self.process.join(timeout)
@@ -477,14 +280,7 @@ class _WorkerHandle:
         if self.process.is_alive():
             self.process.kill()
             self.process.join(5)
-        self._mark_dead("worker stopped by driver close")
-        self._outbox.put(None)
-        try:
-            self.sock.close()
-        except OSError:
-            pass
-        self._recv_thread.join(timeout=5)
-        self._send_thread.join(timeout=5)
+        self.channel.close("worker stopped by driver close")
 
     def kill(self) -> None:
         """Hard-kill the worker (failure injection for tests/benches)."""
@@ -492,15 +288,15 @@ class _WorkerHandle:
         self.process.join(timeout=10)
 
 
-class ProcessDriver(ThreadedDriver):
+class ProcessDriver(RemoteActorDriver):
     """Drives protocols against a mix of worker-process and in-parent actors.
 
-    Extends :class:`ThreadedDriver`: ``register`` places an actor on an
-    in-parent service thread (exactly the threaded driver's semantics),
-    ``register_process`` spawns it into its own OS process. The protocol
-    loop, batch latch, ``spawn``/futures and transport counters are
-    shared, so ``transport_stats`` reads identically across both real
-    drivers.
+    Extends :class:`~repro.net.wire.RemoteActorDriver`: ``register``
+    places an actor on an in-parent service thread (exactly the threaded
+    driver's semantics), ``register_process`` spawns it into its own OS
+    process. The protocol loop, batch latch, ``spawn``/futures and
+    transport counters are shared, so ``transport_stats`` reads
+    identically across all the real drivers.
     """
 
     def __init__(
@@ -523,14 +319,8 @@ class ProcessDriver(ThreadedDriver):
             except Exception:  # pragma: no cover - best-effort fast path
                 pass
         self.start_method = method
-        self._workers: dict[Address, _WorkerHandle] = {}
 
     # -- registration ----------------------------------------------------
-
-    def register(self, address: Address, actor: Actor) -> None:
-        if address in self._workers:
-            raise ValueError(f"address {address!r} already registered (process)")
-        super().register(address, actor)
 
     def register_process(
         self, address: Address, factory: Callable[..., Actor], *args: Any, **kwargs: Any
@@ -545,46 +335,20 @@ class ProcessDriver(ThreadedDriver):
         with self._lock:
             if self._closed:
                 raise RuntimeError("driver is closed")
-            if address in self._servers or address in self._workers:
+            if address in self._servers or address in self._remotes:
                 raise ValueError(f"address {address!r} already registered")
-            self._workers[address] = _WorkerHandle(
+            self._remotes[address] = _WorkerHandle(
                 self._ctx, address, factory, args, kwargs
             )
 
-    def addresses(self) -> list[Address]:
-        with self._lock:
-            return list(self._servers) + list(self._workers)
-
     def worker_addresses(self) -> list[Address]:
-        with self._lock:
-            return list(self._workers)
+        return self.remote_addresses()
 
     # -- introspection ---------------------------------------------------
 
-    def server_stats(self) -> dict[Address, tuple[int, int]]:
-        """Per-actor ``(wire_rpcs, sub_calls)``, queried over the wire for
-        worker actors (raises ``RemoteError`` for a dead worker)."""
-        with self._lock:
-            servers = dict(self._servers)
-            workers = dict(self._workers)
-        stats = {a: (s.served_rpcs, s.served_calls) for a, s in servers.items()}
-        for address, worker in workers.items():
-            reply = worker.control(_CTL_STATS)
-            stats[address] = (reply["wire_rpcs"], reply["sub_calls"])
-        return stats
-
     def worker_pids(self) -> dict[Address, int | None]:
         with self._lock:
-            return {a: w.process.pid for a, w in self._workers.items()}
-
-    def call(self, address: Address, method: str, args: tuple = ()) -> Any:
-        """One-off RPC outside any protocol (inspection surfaces)."""
-
-        def proto():
-            (result,) = yield Batch([Call(address, method, args)])
-            return result
-
-        return self.run(proto())
+            return {a: w.process.pid for a, w in self._remotes.items()}
 
     # -- failure injection ----------------------------------------------
 
@@ -592,82 +356,12 @@ class ProcessDriver(ThreadedDriver):
         """SIGKILL a worker process; in-flight and future calls against it
         complete with ``RemoteError`` (the fail-over path under test)."""
         with self._lock:
-            worker = self._workers[address]
+            worker = self._remotes[address]
         worker.kill()
 
-    # -- execution -------------------------------------------------------
-
-    def _execute_batch(self, batch: Batch) -> list[Any]:
-        calls = batch.calls
-        if not calls:
-            return []
-        groups = plan_wire_groups(calls)
-        servers = self._servers
-        workers = self._workers
-        resolved: list[tuple[Any, Any]] = []
-        for group in groups:
-            server = servers.get(group.dest)
-            if server is not None:
-                resolved.append((None, server))
-                continue
-            worker = workers.get(group.dest)
-            if worker is None:
-                raise KeyError(f"no actor registered at address {group.dest!r}")
-            resolved.append((worker, None))
-        results: list[Any] = [None] * len(calls)
-        latch = self._latch()
-        gen = latch.begin(len(groups))
-        slots: list[list | None] = [None] * len(groups)
-        for k, ((worker, server), group) in enumerate(zip(resolved, groups)):
-            if worker is not None:
-                slot: list = [None]
-                slots[k] = slot
-                worker.submit(group, slot, latch, gen)
-            else:
-                server.inbox.put((group.calls, group.indices, results, latch, gen))
-        latch.wait()
-        # Decode worker replies on *this* thread: the receiver threads only
-        # routed raw bodies, so payload unpickling happens in the caller
-        # that asked for the data, concurrent across caller threads.
-        for k, slot in enumerate(slots):
-            if slot is None:
-                continue
-            group = groups[k]
-            body = slot[0]
-            values = self._decode_group(group, body)
-            for index, value in zip(group.indices, values):
-                results[index] = value
-        return [deliver(c, r) for c, r in zip(calls, results)]
-
-    @staticmethod
-    def _decode_group(group: WireGroup, body: Any) -> list:
-        n = len(group.calls)
-        if isinstance(body, RemoteError):
-            return [body] * n
-        try:
-            values = decode_body(body)
-        except WireCodecError as exc:
-            return [RemoteError.wrap(exc)] * n
-        if not isinstance(values, list) or len(values) != n:
-            return [
-                RemoteError(
-                    "WireProtocolError",
-                    f"worker {group.dest!r} answered {n} calls with "
-                    f"{type(values).__name__}",
-                )
-            ] * n
-        return values
-
     # -- lifecycle -------------------------------------------------------
-
-    def close(self) -> None:
-        with self._lock:
-            workers = list(self._workers.values())
-        for worker in workers:
-            worker.stop()
-        super().close()
 
     def worker_exitcodes(self) -> dict[Address, int | None]:
         """Exit codes after :meth:`close` (0 = clean shutdown)."""
         with self._lock:
-            return {a: w.process.exitcode for a, w in self._workers.items()}
+            return {a: w.process.exitcode for a, w in self._remotes.items()}

@@ -1,0 +1,348 @@
+"""TCP driver: actors on other hosts, reached through node agents.
+
+The fifth and final driver — the one that turns the reproduction from
+"one machine, many processes" into a cluster architecture. It extends
+:class:`~repro.net.threaded.ThreadedDriver` exactly the way the process
+driver does (same protocol loop, batch latch, ``plan_wire_groups``
+framing, transport counters — all inherited through
+:class:`~repro.net.wire.RemoteActorDriver`), but a remote actor lives
+behind a ``host:port`` endpoint served by a node agent
+(:mod:`repro.net.node`) instead of behind an inherited socketpair. The
+same driver therefore runs loopback CI clusters and real multi-host
+deployments: only the endpoints in the :class:`~repro.net.address.ClusterMap`
+change.
+
+Each registered remote actor gets a :class:`TcpPeer`:
+
+- a dedicated connector thread dials the endpoint, performs the
+  ``("hello", actor_name)`` handshake, and installs a live
+  :class:`~repro.net.wire.RpcChannel` (sender thread per peer, replies
+  routed by the 12-byte header, bodies decoded on the caller thread);
+- when the connection dies — agent killed, network partition, corrupt
+  stream — every in-flight call drains as
+  :class:`~repro.errors.RemoteError` and future calls **fail fast**
+  while the peer is down, so replica fail-over proceeds immediately
+  instead of blocking behind a dial timeout;
+- meanwhile the connector retries with exponential backoff (capped), so
+  a *restarted* agent is picked up automatically: reconnect-safe
+  fail-over, not fail-once-and-forget.
+
+Failure-mode parity with the process driver is pinned by
+``tests/test_tcp_transport.py`` (mirroring ``test_process_transport.py``)
+and bit-level conformance with all four other drivers by
+``tests/test_driver_conformance.py``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Mapping
+
+from repro.errors import RemoteError, ReproError
+from repro.net.address import (
+    ClusterMap,
+    Endpoint,
+    format_actor,
+    parse_endpoint,
+)
+from repro.net.codec import MessageDecoder, decode_body, encode_message
+from repro.net.node import HANDSHAKE_REQ_ID
+from repro.net.sansio import Actor, Address, WireGroup
+from repro.net.wire import (
+    CTL_SHUTDOWN,
+    RemoteActorDriver,
+    RpcChannel,
+    tune_socket,
+)
+from repro.net.threaded import _BatchLatch
+
+#: first dial retry delay; doubles per failure up to BACKOFF_MAX
+BACKOFF_INITIAL = 0.05
+BACKOFF_MAX = 2.0
+
+
+class HandshakeError(ReproError):
+    """The agent answered the hello with a reject (or garbage)."""
+
+
+def connect_and_handshake(
+    endpoint: Endpoint, actor_name: str, timeout: float
+) -> socket.socket:
+    """Dial an agent and bind the fresh connection to one actor.
+
+    Returns a connected, tuned, blocking socket that has completed the
+    ``hello``/``welcome`` exchange; raises ``OSError`` on dial failure
+    and :class:`HandshakeError` on a reject.
+    """
+    sock = socket.create_connection((endpoint.host, endpoint.port), timeout=timeout)
+    try:
+        tune_socket(sock)
+        sock.sendall(encode_message(HANDSHAKE_REQ_ID, ("hello", actor_name)))
+        decoder = MessageDecoder()
+        reply = None
+        while reply is None:
+            chunk = sock.recv(4096)
+            if not chunk:
+                raise HandshakeError(
+                    f"agent at {endpoint} closed the connection mid-handshake"
+                )
+            for _req_id, body in decoder.feed(chunk):
+                reply = decode_body(body)
+                break
+        if (
+            not isinstance(reply, tuple)
+            or len(reply) != 2
+            or reply[0] not in ("welcome", "reject")
+        ):
+            raise HandshakeError(f"bad handshake reply from {endpoint}: {reply!r}")
+        if reply[0] == "reject":
+            raise HandshakeError(f"agent at {endpoint} rejected {actor_name!r}: {reply[1]}")
+        sock.settimeout(None)
+        return sock
+    except BaseException:
+        sock.close()
+        raise
+
+
+class TcpPeer:
+    """One remote actor: a live channel when connected, a fast-failing
+    stub plus a backoff reconnector when not."""
+
+    def __init__(
+        self,
+        address: Address,
+        endpoint: Endpoint,
+        *,
+        connect_timeout: float = 5.0,
+        backoff_initial: float = BACKOFF_INITIAL,
+        backoff_max: float = BACKOFF_MAX,
+    ) -> None:
+        self.address = address
+        self.actor_name = format_actor(address)
+        self.endpoint = parse_endpoint(endpoint)
+        self._connect_timeout = connect_timeout
+        self._backoff_initial = backoff_initial
+        self._backoff_max = backoff_max
+        self._lock = threading.Lock()
+        self._channel: RpcChannel | None = None
+        self._down_reason = f"peer {self.actor_name}@{self.endpoint} never connected"
+        self._closed = False
+        self._wake = threading.Event()
+        self._connected = threading.Event()
+        self._thread = threading.Thread(
+            target=self._connector,
+            name=f"dial-{self.actor_name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- health ----------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._connected.is_set()
+
+    @property
+    def down_reason(self) -> str | None:
+        """Why the peer is unreachable right now (None when connected)."""
+        with self._lock:
+            if self._channel is not None:
+                return None
+            return self._down_reason
+
+    def wait_connected(self, timeout: float | None = None) -> bool:
+        return self._connected.wait(timeout)
+
+    # -- connector -------------------------------------------------------
+
+    def _connector(self) -> None:
+        """Dial → handshake → install channel; on death, back off and redial.
+
+        The connector is the only thread that ever creates channels, and a
+        live channel's ``on_down`` is the only thing that wakes it out of
+        the connected wait — so at most one channel exists at a time and a
+        down notification always refers to the current one.
+        """
+        backoff = self._backoff_initial
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                channel = self._channel
+            if channel is not None:
+                self._wake.wait()
+                self._wake.clear()
+                continue
+            try:
+                sock = connect_and_handshake(
+                    self.endpoint, self.actor_name, self._connect_timeout
+                )
+            except (OSError, ReproError) as exc:
+                with self._lock:
+                    self._down_reason = (
+                        f"peer {self.actor_name}@{self.endpoint} unreachable: {exc}"
+                    )
+                self._wake.wait(backoff)
+                self._wake.clear()
+                backoff = min(backoff * 2, self._backoff_max)
+                continue
+            channel = RpcChannel(
+                sock,
+                f"{self.actor_name}@{self.endpoint}",
+                error_label="PeerUnavailable",
+                on_down=self._channel_down,
+            )
+            discard = False
+            with self._lock:
+                if self._closed or channel.down_reason is not None:
+                    # closed meanwhile, or dead before it was ever
+                    # installed: never expose a corpse as "connected"
+                    # (mark_down stamps down_reason before on_down runs,
+                    # so a pre-install death is always visible here)
+                    discard = True
+                else:
+                    self._channel = channel
+                    # set under the same lock _channel_down clears it
+                    # under: a death racing the install can never leave
+                    # a down peer reported as connected
+                    self._connected.set()
+            if discard:
+                channel.close("connector discarded the channel")
+                continue
+            backoff = self._backoff_initial
+
+    def _channel_down(self, reason: str) -> None:
+        with self._lock:
+            self._channel = None
+            self._down_reason = reason
+            self._connected.clear()
+        self._wake.set()
+
+    # -- RPC surface (the remote-handle contract) ------------------------
+
+    def submit(
+        self, group: WireGroup, slot: list, latch: _BatchLatch, gen: int
+    ) -> None:
+        with self._lock:
+            channel = self._channel
+            reason = self._down_reason
+        if channel is None:
+            # fail fast while down: fail-over must not wait out a redial
+            slot[0] = RemoteError("PeerUnavailable", reason)
+            latch.group_done(gen)
+            return
+        channel.submit(group, slot, latch, gen)
+
+    def control(self, kind: str, timeout: float = 10.0) -> Any:
+        with self._lock:
+            channel = self._channel
+            reason = self._down_reason
+        if channel is None:
+            raise RemoteError("PeerUnavailable", reason)
+        return channel.control(kind, timeout=timeout)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Orderly shutdown: tell the remote actor to stop, then hang up."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            channel = self._channel
+            self._channel = None
+        self._wake.set()
+        if channel is not None:
+            try:
+                channel.control(CTL_SHUTDOWN, timeout=timeout)
+            except (RemoteError, TimeoutError):
+                pass  # peer already dead or wedged; just hang up
+            channel.close("peer stopped by driver close")
+        self._connected.clear()
+        self._thread.join(timeout=5)
+
+    def drop(self) -> None:
+        """Sever the current connection without closing the peer (failure
+        injection: the connector will redial with backoff)."""
+        with self._lock:
+            channel = self._channel
+        if channel is not None:
+            channel.close("connection dropped (failure injection)")
+
+
+class TcpDriver(RemoteActorDriver):
+    """Drives protocols against a mix of TCP-remote and in-parent actors.
+
+    ``register`` places an actor on an in-parent service thread (the
+    threaded driver's semantics — deployments keep the version manager
+    and provider manager there); ``register_remote`` binds an address to
+    a ``host:port`` endpoint served by a node agent. Everything else —
+    protocol loop, wire-group framing, one frame per destination per
+    batch, caller-side decode, transport counters — is shared with the
+    threaded and process drivers, which is what makes the five-driver
+    conformance suite's wire-RPC-count equality possible.
+    """
+
+    def __init__(
+        self,
+        registry: Mapping[Address, Actor] | None = None,
+        *,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        super().__init__(registry)
+        self._connect_timeout = connect_timeout
+
+    # -- registration ----------------------------------------------------
+
+    def register_remote(
+        self, address: Address, endpoint: Endpoint | str
+    ) -> TcpPeer:
+        """Bind ``address`` to a node-agent endpoint; dialing starts
+        immediately on a background thread (use :meth:`wait_connected`
+        to block until the cluster is reachable)."""
+        peer = TcpPeer(
+            address, parse_endpoint(endpoint), connect_timeout=self._connect_timeout
+        )
+        self._register_remote(address, peer)
+        return peer
+
+    def register_map(self, cluster_map: ClusterMap) -> None:
+        """Register every actor of a cluster map."""
+        for address, endpoint in cluster_map.items():
+            self.register_remote(address, endpoint)
+
+    def peer(self, address: Address) -> TcpPeer:
+        with self._lock:
+            return self._remotes[address]
+
+    # -- health ----------------------------------------------------------
+
+    def wait_connected(self, timeout: float = 10.0) -> None:
+        """Block until every registered peer holds a live connection;
+        raises ``TimeoutError`` naming the unreachable peers."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            peers = list(self._remotes.values())
+        laggards = []
+        for peer in peers:
+            remaining = deadline - time.monotonic()
+            if not peer.wait_connected(max(0.0, remaining)):
+                laggards.append(
+                    f"{peer.actor_name}@{peer.endpoint} ({peer.down_reason})"
+                )
+        if laggards:
+            raise TimeoutError(
+                f"peers not connected within {timeout}s: " + "; ".join(laggards)
+            )
+
+    def peer_status(self) -> dict[Address, str]:
+        """``address -> "connected" | down reason`` for every peer."""
+        with self._lock:
+            peers = dict(self._remotes)
+        return {
+            a: ("connected" if p.connected else str(p.down_reason))
+            for a, p in peers.items()
+        }

@@ -5,7 +5,10 @@
 - ``python -m repro.tools.campaign`` — run a synthetic supernova survey
   end-to-end and report detection quality;
 - ``python -m repro.tools.inspect`` — demo blob: dump segment trees,
-  structural sharing and diffs for a scripted write history.
+  structural sharing and diffs for a scripted write history;
+- ``python -m repro.tools.node`` — run one cluster node agent: host
+  ``data/N``/``meta/N`` actors on a TCP endpoint for the TCP deployment
+  (loopback CI clusters and real hosts share this entrypoint).
 
 All tools are plain ``main(argv)`` functions, so they are unit-testable
 without subprocesses.

@@ -1,0 +1,89 @@
+"""``python -m repro.tools.node`` — run one cluster node agent.
+
+The deployment unit of the TCP cluster: starts a
+:class:`~repro.net.node.NodeAgent` hosting the requested actors and
+serves until every one of them receives the driver's ``shutdown``
+control, then exits 0. The same invocation works bound to a loopback
+port (single-host CI clusters, which :func:`repro.deploy.tcp.build_tcp`
+launches automatically) and bound to a real interface on a storage host:
+
+    # node 3 of a cluster: one data + one metadata provider, paper layout
+    python -m repro.tools.node --host 10.0.0.13 --port 7000 \\
+        --actor data/3 --actor meta/3
+
+    # ephemeral port: the agent prints "READY <host> <port>" on stdout
+    python -m repro.tools.node --port 0 --actor data/0
+
+The ``READY`` line is the launch protocol: it is printed (and flushed)
+only once the listener is bound, so a launcher may connect the moment it
+reads the line. ``main(argv)`` is a plain function, unit-testable
+without a subprocess.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ConfigError
+from repro.net.node import NodeAgent, build_actor
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.node",
+        description="Serve blob-store actors on one TCP endpoint.",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: loopback; use the node's "
+        "cluster-facing address on real deployments)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to bind; 0 picks an ephemeral port, announced on "
+        "the READY line (default: 0)",
+    )
+    parser.add_argument(
+        "--actor",
+        action="append",
+        dest="actors",
+        metavar="NAME",
+        default=[],
+        help="actor to host: data/N, meta/N or vm; repeatable "
+        "(the paper's layout colocates data/i and meta/i per node)",
+    )
+    parser.add_argument(
+        "--checksum",
+        action="store_true",
+        help="data providers checksum pages on put and verify on get "
+        "(DeploymentSpec.page_checksums integrity mode)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.actors:
+        print("error: at least one --actor is required", file=sys.stderr)
+        return 2
+    try:
+        actors = dict(
+            build_actor(name, checksum=args.checksum) for name in args.actors
+        )
+        if len(actors) != len(args.actors):
+            raise ConfigError(f"duplicate --actor in {args.actors}")
+        agent = NodeAgent(actors, host=args.host, port=args.port)
+    except (ConfigError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"READY {agent.endpoint.host} {agent.endpoint.port}", flush=True)
+    agent.serve_forever()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -227,6 +227,65 @@ def test_message_layer_routes_by_header_without_decoding():
     assert decoder.pending_bytes == 0
 
 
+def test_message_decoder_streams_over_real_tcp_with_byte_dribble():
+    """The TCP transport's premise, proven adversarially: RPC messages
+    reassemble from a *real* TCP connection (loopback listener + dialed
+    socket, not a socketpair) even when the bytes arrive one at a time —
+    every chunk boundary crosses the 12-byte header, including the
+    header/body seam, which a socketpair test with large reads never
+    exercises."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    sender = receiver = None
+    try:
+        sender = socket.create_connection(listener.getsockname(), timeout=10)
+        sender.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        receiver, _ = listener.accept()
+        receiver.settimeout(10)
+
+        payloads = {
+            1: ("rpc", [("data.put_page", (PageKey("b", "w", 0),
+                                           PagePayload.real(b"q" * 300)))]),
+            2: ("stats", ()),
+            1 << 40: [PagePayload.real(bytes(range(256)))],  # u64 req ids
+        }
+        stream = b"".join(encode_message(i, obj) for i, obj in payloads.items())
+        done = []
+
+        def dribble() -> None:
+            # one byte per send: TCP may still coalesce, so the receive
+            # side independently re-dribbles with recv(1)
+            for k in range(len(stream)):
+                sender.sendall(stream[k : k + 1])
+            done.append(True)
+
+        import threading
+
+        feeder = threading.Thread(target=dribble, daemon=True)
+        feeder.start()
+
+        decoder = MessageDecoder()
+        seen = {}
+        received = 0
+        while received < len(stream):
+            chunk = receiver.recv(1)  # adversarial 1-byte reads
+            assert chunk, "sender closed early"
+            received += len(chunk)
+            for req_id, body in decoder.feed(chunk):
+                assert isinstance(body, bytes)  # still encoded at routing
+                seen[req_id] = decode_body(body)
+        feeder.join(timeout=10)
+        assert done, "dribbling sender stalled"
+        assert decoder.pending_bytes == 0
+        assert set(seen) == set(payloads)
+        assert seen[2] == ("stats", ())
+        assert seen[1][1][0][1][1].as_bytes() == b"q" * 300
+        assert seen[1 << 40][0].as_bytes() == bytes(range(256))
+    finally:
+        for sock in (sender, receiver, listener):
+            if sock is not None:
+                sock.close()
+
+
 def test_message_decoder_rejects_corrupt_length():
     decoder = MessageDecoder()
     with pytest.raises(WireCodecError):

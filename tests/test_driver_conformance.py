@@ -1,12 +1,13 @@
-"""Cross-driver conformance suite: inproc vs threaded vs process vs simulated.
+"""Cross-driver conformance: inproc vs threaded vs process vs TCP vs simulated.
 
 The paper's claim only holds if the *deployment substrate* is
 interchangeable: the same sans-io WRITE/READ protocols must produce the
 same blobs whether they are dispatched directly (inproc), over real
 per-actor service threads (threaded), across per-actor OS processes
-through the pickle-frame wire codec (process), or on the discrete-event
-cluster model (simulated). This suite replays identical seeded workloads —
-built once as driver-agnostic composite protocol generators — on all four
+through the pickle-frame wire codec (process), over real TCP connections
+to node-agent cluster processes (tcp), or on the discrete-event cluster
+model (simulated). This suite replays identical seeded workloads — built
+once as driver-agnostic composite protocol generators — on all five
 deployments and asserts:
 
 - **serial phase** (deterministic, single client): bit-identical page
@@ -39,6 +40,7 @@ from repro.core.protocol import (
 from repro.deploy.inproc import build_inproc
 from repro.deploy.process import build_process
 from repro.deploy.simulated import SimDeployment
+from repro.deploy.tcp import build_tcp
 from repro.deploy.threaded import build_threaded
 from repro.metadata.tree import TreeGeometry
 from repro.util.sizes import KB
@@ -124,6 +126,17 @@ class ProcessHarness(ThreadedHarness):
         self.dep = build_process(SPEC)
 
 
+class TcpHarness(ThreadedHarness):
+    """Same driver surface again, but every provider actor lives in a
+    node-agent OS process behind a loopback TCP endpoint — the cluster
+    deployment, reached through connection handshakes and real sockets."""
+
+    name = "tcp"
+
+    def __init__(self) -> None:
+        self.dep = build_tcp(SPEC)
+
+
 class SimulatedHarness:
     name = "simulated"
 
@@ -154,8 +167,15 @@ class SimulatedHarness:
 
 def all_harnesses():
     return [
-        InprocHarness(), ThreadedHarness(), ProcessHarness(), SimulatedHarness()
+        InprocHarness(),
+        ThreadedHarness(),
+        ProcessHarness(),
+        TcpHarness(),
+        SimulatedHarness(),
     ]
+
+
+OTHER_DRIVERS = ("threaded", "process", "tcp", "simulated")
 
 
 # ---------------------------------------------------------------------------
@@ -291,7 +311,7 @@ def test_serial_workload_bit_identical_across_drivers():
             harness.close()
     ref = results["inproc"]
     assert ref["latest"] == N_SERIAL_OPS
-    for name in ("threaded", "process", "simulated"):
+    for name in OTHER_DRIVERS:
         got = results[name]
         assert got["blob_id"] == ref["blob_id"]
         assert got["outcome"]["versions"] == ref["outcome"]["versions"]
@@ -459,7 +479,7 @@ def test_concurrent_workload_equivalent_across_drivers():
         expected_final[lo : lo + PAGES_PER_CLIENT * PAGE] = own_range_states(c)[-1]
     assert ref["final"] == bytes(expected_final)
 
-    for name in ("threaded", "process", "simulated"):
+    for name in OTHER_DRIVERS:
         got = results[name]
         assert got["final"] == ref["final"], f"{name}: final blob bytes differ"
         # page identity is placement- and version-order-independent:
@@ -472,24 +492,31 @@ def test_concurrent_workload_equivalent_across_drivers():
 
 
 def test_transport_batching_equivalent_sub_calls():
-    """The threaded, process and simulated drivers must issue identical
-    wire-RPC and sub-call counts for an identical serial workload — all
-    three execute exactly the groups `plan_wire_groups` plans (shared
-    framing); for the process driver the counts are reported by the worker
-    processes themselves over the control channel."""
-    threaded, process, simulated = (
-        ThreadedHarness(), ProcessHarness(), SimulatedHarness()
+    """The threaded, process, TCP and simulated drivers must issue
+    identical wire-RPC and sub-call counts for an identical serial
+    workload — all four execute exactly the groups `plan_wire_groups`
+    plans (shared framing); for the process and TCP drivers the counts
+    are reported by the worker processes / node agents themselves over
+    the control channel."""
+    threaded, process, tcp, simulated = (
+        ThreadedHarness(), ProcessHarness(), TcpHarness(), SimulatedHarness()
     )
     try:
         t = _run_serial(threaded)
         p = _run_serial(process)
+        n = _run_serial(tcp)
         s = _run_serial(simulated)
-        assert t["pages"] == s["pages"] == p["pages"]
-        t_stats, p_stats = t["server_stats"], p["server_stats"]
+        assert t["pages"] == s["pages"] == p["pages"] == n["pages"]
+        t_stats, p_stats, n_stats = (
+            t["server_stats"], p["server_stats"], n["server_stats"]
+        )
         t_rpcs = sum(r for r, _ in t_stats.values())
         t_calls = sum(c for _, c in t_stats.values())
         assert t_stats == p_stats, (
             "process and threaded drivers framed the same workload differently"
+        )
+        assert t_stats == n_stats, (
+            "TCP and threaded drivers framed the same workload differently"
         )
         assert (t_rpcs, t_calls) == (
             simulated.dep.executor.wire_rpcs,
@@ -498,4 +525,5 @@ def test_transport_batching_equivalent_sub_calls():
     finally:
         threaded.close()
         process.close()
+        tcp.close()
         simulated.close()

@@ -1,6 +1,7 @@
 """Driver equivalence and driver-specific behaviour.
 
-The three drivers must be observationally equivalent for any protocol; the
+The drivers must be observationally equivalent for any protocol (the full
+five-driver certification lives in test_driver_conformance.py); the
 threaded driver must additionally survive concurrent callers, and the sim
 driver must charge simulated time.
 """

@@ -1,0 +1,538 @@
+"""TCP-transport pins: framing counts, clean shutdown, crash fail-over,
+reconnect-with-backoff, and the addressing/handshake layer.
+
+Failure-mode parity with the process transport is the point: every pin in
+``tests/test_process_transport.py`` that describes *transport semantics*
+(submission counts, typed errors, killed-peer drain, replica fail-over,
+clean shutdown exit codes) has its mirror here, driven by real TCP
+connections to node-agent OS processes instead of socketpairs to spawned
+workers. On top of that, TCP adds what pipes cannot: a peer that comes
+*back* — pinned by the agent-restart reconnect test.
+
+Everything here is wall-clock bounded: every blocking wait carries a
+timeout, and the module-level watchdog (conftest.py, enabled via
+``REPRO_TEST_TIMEOUT``) hard-kills a stalled run — a wedged socket must
+fail the suite fast, never stall it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.config import DeploymentSpec
+from repro.deploy.tcp import build_tcp, plan_loopback_nodes
+from repro.errors import ConfigError, RemoteError, VersionNotPublished
+from repro.net.address import ClusterMap, Endpoint, format_actor, parse_actor, parse_endpoint
+from repro.net.node import NodeAgent, build_actor
+from repro.net.sansio import Batch, Call
+from repro.net.tcp import TcpDriver
+from repro.providers.data_provider import DataProvider
+from repro.util.sizes import KB, MB
+
+TOTAL = 1 * MB
+PAGE = 4 * KB
+
+JOIN_TIMEOUT = 60.0
+
+
+@pytest.fixture
+def tdep():
+    dep = build_tcp(DeploymentSpec(n_data=3, n_meta=2, cache_capacity=0))
+    yield dep
+    dep.close()
+
+
+def fill(i: int) -> bytes:
+    return bytes([i % 251 + 1]) * PAGE
+
+
+# ---------------------------------------------------------------------------
+# addressing layer
+# ---------------------------------------------------------------------------
+
+
+def test_actor_name_round_trips():
+    for address in ("vm", "pm", ("data", 0), ("meta", 17)):
+        assert parse_actor(format_actor(address)) == address
+    assert format_actor(("data", 3)) == "data/3"
+    assert parse_actor("meta/12") == ("meta", 12)
+
+
+def test_bad_actor_names_rejected():
+    for bad in ("", "data/", "/3", "data/x", "data/-1", "da/ta/3"):
+        with pytest.raises(ConfigError):
+            parse_actor(bad)
+    with pytest.raises(ConfigError):
+        format_actor(("data", -1))
+    with pytest.raises(ConfigError):
+        format_actor(("da/ta", 1))
+    with pytest.raises(ConfigError):
+        format_actor(3.14)
+
+
+def test_endpoint_parsing():
+    assert parse_endpoint("10.0.0.5:7000") == Endpoint("10.0.0.5", 7000)
+    assert parse_endpoint("[::1]:7000") == Endpoint("::1", 7000)
+    assert str(Endpoint("h", 9)) == "h:9"
+    for bad in ("nohost", ":70", "h:", "h:abc", "h:70000"):
+        with pytest.raises(ConfigError):
+            parse_endpoint(bad)
+
+
+def test_cluster_map_round_trips_spec_form():
+    spec = {"data/0": "10.0.0.5:7000", "meta/0": "10.0.0.5:7000", "vm": "10.0.0.9:7001"}
+    cmap = ClusterMap.from_spec(spec)
+    assert cmap.to_spec() == spec
+    assert cmap.endpoint_for(("data", 0)) == Endpoint("10.0.0.5", 7000)
+    assert sorted(map(format_actor, cmap.actors_at("10.0.0.5:7000"))) == [
+        "data/0", "meta/0",
+    ]
+    assert len(cmap.endpoints()) == 2
+    with pytest.raises(ConfigError):
+        cmap.add("data/0", "10.0.0.6:7000")  # mapped twice
+    with pytest.raises(ConfigError):
+        cmap.endpoint_for(("data", 9))
+
+
+def test_loopback_plan_colocates_paper_layout():
+    plan = plan_loopback_nodes(DeploymentSpec(n_data=3, n_meta=2))
+    assert plan == [["data/0", "meta/0"], ["data/1", "meta/1"], ["data/2"]]
+    flat = plan_loopback_nodes(DeploymentSpec(n_data=2, n_meta=1, colocate=False))
+    assert flat == [["data/0"], ["data/1"], ["meta/0"]]
+
+
+def test_build_actor_specs():
+    address, actor = build_actor("data/4", checksum=True)
+    assert address == ("data", 4)
+    assert actor.provider_id == 4
+    address, actor = build_actor("meta/0")
+    assert address == ("meta", 0)
+    _, vm = build_actor("vm")
+    assert callable(vm.handle)  # a servable actor
+    for bad in ("pm", "unknown/1", "data"):
+        with pytest.raises(ConfigError):
+            build_actor(bad)
+
+
+# ---------------------------------------------------------------------------
+# functional sanity + submission counts (process-transport parity)
+# ---------------------------------------------------------------------------
+
+
+def test_serial_workload_and_submission_counts(tdep):
+    """Caller-side transport counters must equal agent/server-side wire-RPC
+    counts: one queue submission (= one TCP frame for remote actors) per
+    destination per batch — the same bound the threaded and process
+    drivers pin."""
+    client = tdep.client("pin")
+    blob = client.alloc(TOTAL, PAGE)
+    rng = random.Random(7)
+    states: dict[int, bytes] = {}
+    for step in range(6):
+        npages = rng.choice((1, 2, 4))
+        offset = rng.randrange(0, TOTAL // PAGE - npages + 1) * PAGE
+        data = b"".join(fill(step * 7 + k) for k in range(npages))
+        res = client.write(blob, data, offset)
+        states[res.version] = data
+        back = client.read_bytes(blob, offset, len(data), version=res.version)
+        assert back == data
+
+    stats = tdep.driver.server_stats()
+    served_rpcs = sum(r for r, _ in stats.values())
+    served_calls = sum(c for _, c in stats.values())
+    transport = tdep.transport_stats()
+    assert transport["queue_submissions"] == served_rpcs
+    assert transport["completion_wakeups"] <= transport["batches"]
+    assert served_calls >= served_rpcs
+
+    # agent-held state is inspectable over the wire
+    assert tdep.total_pages_stored() == sum(
+        len(d) // PAGE for d in states.values()
+    )
+
+
+def test_concurrent_clients_disjoint_ranges(tdep):
+    """Real parallel client threads against node-agent processes."""
+    client = tdep.client("setup")
+    blob = client.alloc(TOTAL, PAGE)
+    n_clients, writes_each = 3, 4
+    span = TOTAL // n_clients // PAGE * PAGE
+
+    def program(c: int):
+        own = tdep.client(f"c{c}")
+        lo = c * span
+        for k in range(writes_each):
+            data = fill(c * 16 + k) * 2
+            offset = lo + (k * 2 * PAGE) % span
+            res = own.write(blob, data, offset)
+            if res.published:
+                got = own.read_bytes(blob, offset, len(data), version=res.version)
+                assert got == data
+        return c
+
+    futures = [
+        tdep.driver.spawn(_as_proto(program, c)) for c in range(n_clients)
+    ]
+    assert sorted(f.result(timeout=JOIN_TIMEOUT) for f in futures) == [0, 1, 2]
+    assert tdep.vm.get_latest(blob) == n_clients * writes_each
+
+    for c in range(n_clients):
+        state = bytearray(span)
+        for k in range(writes_each):
+            data = fill(c * 16 + k) * 2
+            offset = (k * 2 * PAGE) % span
+            state[offset : offset + len(data)] = data
+        assert client.read_bytes(blob, c * span, span) == bytes(state)
+
+
+def _as_proto(fn, *args):
+    """Wrap a blocking-client program as a spawnable generator."""
+
+    def proto():
+        yield Batch([])  # enter the driver loop once, then run to completion
+        return fn(*args)
+
+    return proto()
+
+
+def test_unknown_address_raises_before_any_submission(tdep):
+    def proto():
+        yield Batch([Call(("data", 99), "data.stats", ())])
+
+    before = tdep.transport_stats()["queue_submissions"]
+    with pytest.raises(KeyError):
+        tdep.driver.run(proto())
+    assert tdep.transport_stats()["queue_submissions"] == before
+
+
+def test_semantic_errors_cross_the_wire_typed(tdep):
+    client = tdep.client("err")
+    blob = client.alloc(TOTAL, PAGE)
+    with pytest.raises(VersionNotPublished) as exc_info:
+        client.read_bytes(blob, 0, PAGE, version=5)
+    assert exc_info.value.requested == 5
+
+
+# ---------------------------------------------------------------------------
+# shutdown
+# ---------------------------------------------------------------------------
+
+
+def test_clean_shutdown_exits_all_agents():
+    dep = build_tcp(DeploymentSpec(n_data=2, n_meta=2))
+    client = dep.client("s")
+    blob = client.alloc(TOTAL, PAGE)
+    client.write(blob, fill(1), 0)
+    dep.close()
+    codes = dep.agent_exitcodes()
+    assert len(codes) == 2  # colocated: agent i hosts data/i + meta/i
+    assert all(code == 0 for code in codes), codes
+    # closing twice is harmless
+    dep.close()
+
+
+def test_driver_rejects_registration_after_close():
+    driver = TcpDriver()
+    driver.close()
+    with pytest.raises(RuntimeError):
+        driver.register_remote(("data", 0), "127.0.0.1:1")
+
+
+# ---------------------------------------------------------------------------
+# crash handling: killed agent -> RemoteError -> replica fail-over
+# ---------------------------------------------------------------------------
+
+
+def test_killed_agent_raises_remote_error(tdep):
+    client = tdep.client("kill")
+    blob = client.alloc(TOTAL, PAGE)
+    res = client.write(blob, fill(9), 0)
+    # find the agent whose data provider holds the page and SIGKILL it
+    # (replication=1: no backup copy anywhere)
+    holders = [
+        pid for pid, proxy in tdep.data.items()
+        if any(True for _ in proxy.iter_pages(blob))
+    ]
+    assert len(holders) == 1
+    victim = holders[0]
+    tdep.kill_agent(tdep.agent_index_for(("data", victim)))
+    with pytest.raises(RemoteError) as exc_info:
+        client.read_bytes(blob, 0, PAGE, version=res.version)
+    assert "PeerUnavailable" in str(exc_info.value)
+    # vm is alive in-parent; the surviving metadata replicas still serve
+    assert tdep.vm.get_latest(blob) == 1
+    surviving_meta = [
+        m for m in tdep.meta
+        if tdep.agent_index_for(("meta", m)) != tdep.agent_index_for(("data", victim))
+    ]
+    for m in surviving_meta:
+        list(tdep.meta[m].iter_nodes(blob))  # serves without raising
+
+
+def test_killed_agent_fails_over_to_replica():
+    """The paper's replica fail-over, driven by a real node-agent death:
+    with replication=2 every page (and metadata node) lives on two
+    agents, so SIGKILLing one must leave reads working through the
+    ``allow_error`` retry path."""
+    dep = build_tcp(
+        DeploymentSpec(n_data=3, n_meta=2, replication=2, cache_capacity=0)
+    )
+    try:
+        client = dep.client("failover")
+        blob = client.alloc(TOTAL, PAGE)
+        data = fill(3) + fill(4)
+        res = client.write(blob, data, 0)
+        victim = next(
+            pid for pid, proxy in dep.data.items()
+            if any(True for _ in proxy.iter_pages(blob))
+        )
+        dep.kill_agent(dep.agent_index_for(("data", victim)))
+        back = client.read_bytes(blob, 0, len(data), version=res.version)
+        assert back == data
+    finally:
+        dep.close()
+
+
+def test_future_calls_fail_fast_after_agent_death():
+    """Calls against a dead peer must fail immediately with RemoteError —
+    never block behind a redial attempt (fail-over latency)."""
+    dep = build_tcp(DeploymentSpec(n_data=2, n_meta=2, cache_capacity=0))
+    try:
+        client = dep.client("inflight")
+        blob = client.alloc(TOTAL, PAGE)
+        client.write(blob, fill(5), 0)
+        address = ("data", 0)
+        dep.kill_agent(dep.agent_index_for(address))
+        # wait (bounded) for the peer to notice the EOF
+        deadline = time.monotonic() + 10
+        while dep.driver.peer(address).connected and time.monotonic() < deadline:
+            time.sleep(0.01)
+        for _ in range(3):
+            start = time.monotonic()
+            with pytest.raises(RemoteError):
+                dep.driver.call(address, "data.stats")
+            assert time.monotonic() - start < 2.0, "dead-peer call did not fail fast"
+    finally:
+        dep.close()
+
+
+def test_in_flight_calls_drain_when_connection_dies():
+    """A call already on the wire when the connection dies mid-batch must
+    complete with RemoteError, not hang the batch latch. Driven
+    deterministically with an in-process agent whose actor blocks until
+    the connection is severed under it."""
+
+    class Staller:
+        def __init__(self):
+            self.entered = threading.Event()
+            self.release = threading.Event()
+
+        def handle(self, method, args):
+            if method == "stall":
+                self.entered.set()
+                self.release.wait(JOIN_TIMEOUT)
+                return "too late"
+            raise ValueError(method)
+
+    staller = Staller()
+    agent = NodeAgent({("data", 0): staller})
+    agent.start()
+    driver = TcpDriver()
+    try:
+        driver.register_remote(("data", 0), agent.endpoint)
+        driver.wait_connected()
+        fut = driver.spawn(_call_proto(("data", 0), "stall"))
+        assert staller.entered.wait(JOIN_TIMEOUT), "call never reached the actor"
+        agent.drop_connections()  # sever mid-call: reply can never arrive
+        with pytest.raises(RemoteError):
+            fut.result(timeout=JOIN_TIMEOUT)
+    finally:
+        staller.release.set()
+        driver.close()
+        agent.close()
+
+
+def _call_proto(address, method, args=()):
+    def proto():
+        (result,) = yield Batch([Call(address, method, args)])
+        return result
+
+    return proto()
+
+
+# ---------------------------------------------------------------------------
+# reconnect: the capability pipes cannot have
+# ---------------------------------------------------------------------------
+
+
+def test_peer_reconnects_after_agent_restart():
+    """Reconnect-safe fail-over: while the agent is gone calls drain as
+    RemoteError (so replicas take over), and once an agent serving the
+    same actor name is back on the same endpoint, the connector's backoff
+    loop finds it and service resumes — no driver restart, no re-register."""
+    agent = NodeAgent({("data", 0): DataProvider(0)})
+    agent.start()
+    port = agent.endpoint.port
+    driver = TcpDriver()
+    try:
+        driver.register_remote(("data", 0), agent.endpoint)
+        driver.wait_connected()
+        assert driver.call(("data", 0), "data.stats")["pages"] == 0
+
+        agent.close()  # the "host went down" event: listener + conns die
+        deadline = time.monotonic() + 10
+        while driver.peer(("data", 0)).connected and time.monotonic() < deadline:
+            time.sleep(0.01)
+        with pytest.raises(RemoteError):
+            driver.call(("data", 0), "data.stats")
+        assert driver.peer_status()[("data", 0)] != "connected"
+
+        # restart: a fresh agent, same actor name, same endpoint
+        revived = NodeAgent({("data", 0): DataProvider(0)}, port=port)
+        revived.start()
+        try:
+            assert driver.peer(("data", 0)).wait_connected(timeout=15), (
+                "connector did not redial the revived agent"
+            )
+            assert driver.call(("data", 0), "data.stats")["pages"] == 0
+            assert driver.peer_status()[("data", 0)] == "connected"
+        finally:
+            revived.close()
+    finally:
+        driver.close()
+        agent.close()
+
+
+def test_agent_serves_rpcs_pipelined_behind_hello():
+    """The wire protocol allows a client to pipeline RPCs behind its hello
+    without waiting for the welcome; the agent must resume the byte stream
+    exactly where the handshake left it — including a partial frame
+    straddling the handshake/service boundary."""
+    import socket as socket_mod
+
+    from repro.net.codec import MessageDecoder, decode_body, encode_message
+
+    agent = NodeAgent({("data", 0): DataProvider(0)})
+    agent.start()
+    sock = socket_mod.create_connection(
+        (agent.endpoint.host, agent.endpoint.port), timeout=10
+    )
+    try:
+        sock.setsockopt(socket_mod.IPPROTO_TCP, socket_mod.TCP_NODELAY, 1)
+        stream = (
+            encode_message(0, ("hello", "data/0"))
+            + encode_message(1, ("rpc", [("data.stats", ())]))
+            + encode_message(2, ("rpc", [("data.stats", ())]))
+        )
+        # burst everything but the last frame's tail, so the agent's
+        # handshake read buffers a complete rpc AND a partial one
+        sock.sendall(stream[:-5])
+        time.sleep(0.05)
+        sock.sendall(stream[-5:])
+        decoder = MessageDecoder()
+        seen = {}
+        sock.settimeout(10)
+        while len(seen) < 3:
+            chunk = sock.recv(1 << 16)
+            assert chunk, "agent closed a pipelined connection"
+            for req_id, body in decoder.feed(chunk):
+                seen[req_id] = decode_body(body)
+        assert seen[0] == ("welcome", "data/0")
+        for req_id in (1, 2):
+            assert seen[req_id][0]["pages"] == 0  # stats reply list
+    finally:
+        sock.close()
+        agent.close()
+
+
+def test_handshake_reject_for_unknown_actor():
+    """An agent must reject a hello for an actor it does not host; the
+    peer stays down (fail-fast) instead of looping a broken connection."""
+    agent = NodeAgent({("data", 0): DataProvider(0)})
+    agent.start()
+    driver = TcpDriver()
+    try:
+        driver.register_remote(("data", 7), agent.endpoint)
+        assert not driver.peer(("data", 7)).wait_connected(timeout=0.6)
+        with pytest.raises(RemoteError) as exc_info:
+            driver.call(("data", 7), "data.stats")
+        assert "PeerUnavailable" in str(exc_info.value)
+    finally:
+        driver.close()
+        agent.close()
+
+
+def test_connect_mode_uses_running_agents():
+    """The connected (operator-launched) mode: build_tcp with explicit
+    endpoints dials running agents instead of spawning any — the exact
+    code path a real multi-host cluster uses, exercised with in-process
+    agents standing in for remote hosts."""
+    agents = [
+        NodeAgent({("data", 0): build_actor("data/0")[1],
+                   ("meta", 0): build_actor("meta/0")[1]}),
+        NodeAgent({("data", 1): build_actor("data/1")[1]}),
+    ]
+    for a in agents:
+        a.start()
+    endpoints = {
+        "data/0": str(agents[0].endpoint),
+        "meta/0": str(agents[0].endpoint),
+        "data/1": str(agents[1].endpoint),
+    }
+    dep = build_tcp(
+        DeploymentSpec(n_data=2, n_meta=1, cache_capacity=0, endpoints=endpoints)
+    )
+    try:
+        assert dep.agents == []  # nothing launched: agents are "elsewhere"
+        client = dep.client("ext")
+        blob = client.alloc(TOTAL, PAGE)
+        res = client.write(blob, fill(2) * 3, 0)
+        assert client.read_bytes(blob, 0, 3 * PAGE, version=res.version) == fill(2) * 3
+        assert dep.total_pages_stored() == 3
+    finally:
+        dep.close()
+        # clean close sent shutdown controls: in-process agents stopped too
+        for a in agents:
+            assert a.wait_stopped(timeout=10)
+
+
+def test_missing_endpoint_fails_the_build():
+    with pytest.raises(ConfigError):
+        build_tcp(
+            DeploymentSpec(n_data=2, n_meta=1),
+            endpoints={"data/0": "127.0.0.1:1", "meta/0": "127.0.0.1:1"},
+        )
+
+
+# ---------------------------------------------------------------------------
+# the application, end to end on the cluster
+# ---------------------------------------------------------------------------
+
+
+def test_supernovae_example_runs_on_loopback_cluster():
+    """The paper's §VI application on the paper's deployment architecture:
+    ``examples/supernovae_detection.py --deploy tcp`` launches eight node
+    agents as OS processes and runs the survey over real sockets."""
+    import pathlib
+    import subprocess
+    import sys
+
+    root = pathlib.Path(__file__).resolve().parents[1]
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(root / "examples" / "supernovae_detection.py"),
+            "--deploy", "tcp",
+            "--epochs", "4",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "TCP cluster: 8 node agents" in result.stdout
+    assert "precision" in result.stdout and "recall" in result.stdout
