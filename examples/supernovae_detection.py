@@ -14,8 +14,10 @@ precision and recall at the end.
 Run: python examples/supernovae_detection.py
 
 The same survey also runs against a real multi-process TCP cluster —
-eight node agents launched on loopback ports, every tile write and scan
-crossing actual sockets (the paper's deployment architecture, §III):
+the paper's deployment architecture (§III) in full: eight storage node
+agents plus one agent each for the version manager and the provider
+manager, all launched on loopback ports, every tile write and scan
+crossing actual sockets, and **zero actors in this client process**:
 
     python examples/supernovae_detection.py --deploy tcp
 """
@@ -54,9 +56,11 @@ def main(argv=None) -> None:
 
     dep_spec = DeploymentSpec(n_data=8, n_meta=8)
     if args.deploy == "tcp":
-        dep = build_tcp(dep_spec)
+        dep = build_tcp(dep_spec, control_plane="agents")
         print(f"TCP cluster: {len(dep.agents)} node agents on loopback "
-              f"({', '.join(str(a.endpoint) for a in dep.agents)})\n")
+              f"({', '.join(str(a.endpoint) for a in dep.agents)})")
+        print(f"control plane: vm/pm on their own agents; "
+              f"in-parent actors: {len(dep.in_parent_actors())}\n")
     else:
         dep = build_inproc(dep_spec)
     try:

@@ -14,18 +14,32 @@ Two modes, one code path:
   them. Nothing else changes: same driver, same handshake, same
   protocols.
 
-As in the process deployment, the version manager and provider manager —
-the intentional serialization points, whose RPCs are tiny — live in the
-driver process on dedicated service threads, and the data/metadata
-providers (where the paper's parallelism lives) are remote. The
-inspection surface (``blob_nodes``, ``total_pages_stored``,
+Orthogonally, ``control_plane`` picks where the version manager and
+provider manager — the intentional serialization points, whose RPCs are
+tiny — live:
+
+- ``"parent"``: on dedicated service threads in the driver process, as
+  in the process deployment (the historical tcp layout);
+- ``"agents"``: on their own node agents, dialed like any other remote
+  actor — the paper's deployment, where the vm and pm get dedicated
+  machines and **no actor lives in the client parent**. In launched mode
+  the builder spawns one agent for each; in connected mode
+  ``spec.endpoints`` must name ``vm`` and ``pm`` (and ``control_plane``
+  defaults to ``"agents"`` whenever it does). The pm starts empty; data
+  agents register their providers with it at start (they are launched
+  with ``--pm``), and the builder blocks until the pm has learned every
+  provider, so allocation never races registration.
+
+The inspection surface (``blob_nodes``, ``total_pages_stored``,
 ``transport_stats``, ``server_stats``) is deployment-parity by
-construction: the same proxy classes the process deployment uses, now
-fetching over TCP.
+construction: the same provider proxy classes the process deployment
+uses, plus vm/pm proxies when the control plane is remote — all fetching
+over TCP.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import select
 import subprocess
@@ -33,12 +47,13 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Sequence, Union
 
 from repro.core.client import BlobClient
 from repro.core.config import DeploymentSpec
 from repro.errors import ConfigError
 from repro.metadata.router import StaticRouter
-from repro.net.address import ClusterMap, Endpoint, format_actor
+from repro.net.address import CONTROL_ACTORS, ClusterMap, Endpoint, format_actor
 from repro.net.tcp import TcpDriver
 from repro.providers.manager import ProviderManager
 from repro.providers.strategies import make_strategy
@@ -52,10 +67,69 @@ from repro.deploy.process import DataProviderProxy, MetadataProviderProxy
 LAUNCH_TIMEOUT = 30.0
 
 
+class VersionManagerProxy:
+    """Parent-side view of a version manager on its own node agent.
+
+    Exposes the inspection surface deployments and tests read
+    (``get_latest``, ``patches``, ``stat``, ``in_flight_versions``) with
+    the same signatures as a live :class:`VersionManager`, each fetched
+    as one ``vm.*`` RPC. Protocol traffic (assign/complete/resolve) does
+    not go through this proxy — clients reach the remote vm through the
+    driver like any other actor.
+    """
+
+    def __init__(self, driver: TcpDriver) -> None:
+        self._driver = driver
+
+    def get_latest(self, blob_id: str) -> int:
+        return self._driver.call("vm", "vm.get_latest", (blob_id,))
+
+    def stat(self, blob_id: str) -> tuple[int, int, int]:
+        return self._driver.call("vm", "vm.stat", (blob_id,))
+
+    def patches(self, blob_id: str) -> list[tuple[int, int, int]]:
+        return self._driver.call("vm", "vm.patches", (blob_id,))
+
+    def in_flight_versions(self, blob_id: str) -> list[int]:
+        return self._driver.call("vm", "vm.in_flight", (blob_id,))
+
+
+class ProviderManagerProxy:
+    """Parent-side view of a provider manager on its own node agent."""
+
+    def __init__(self, driver: TcpDriver) -> None:
+        self._driver = driver
+
+    def providers(self) -> list[int]:
+        return self._driver.call("pm", "pm.providers")
+
+    @property
+    def provider_count(self) -> int:
+        return len(self.providers())
+
+    def register(self, provider_id: int) -> int:
+        return self._driver.call("pm", "pm.register", (provider_id,))
+
+    def deregister(self, provider_id: int) -> int:
+        return self._driver.call("pm", "pm.deregister", (provider_id,))
+
+    def report_usage(self, provider_id: int, nbytes: int) -> bool:
+        return self._driver.call("pm", "pm.report_usage", (provider_id, nbytes))
+
+    def config(self) -> dict:
+        return self._driver.call("pm", "pm.config")
+
+
 class _AgentProcess:
     """One launched ``repro.tools.node`` OS process."""
 
-    def __init__(self, actor_names: list[str], host: str, checksum: bool) -> None:
+    def __init__(
+        self,
+        actor_names: list[str],
+        host: str,
+        checksum: bool,
+        extra_args: Sequence[str] = (),
+    ) -> None:
         self.actor_names = actor_names
         argv = [
             sys.executable,
@@ -70,6 +144,7 @@ class _AgentProcess:
             argv += ["--actor", name]
         if checksum:
             argv.append("--checksum")
+        argv += list(extra_args)
         # the agent must import repro no matter how the parent found it
         src_dir = str(Path(__file__).resolve().parents[2])
         env = dict(os.environ)
@@ -147,14 +222,43 @@ class TcpDeployment:
     spec: DeploymentSpec
     driver: TcpDriver
     router: StaticRouter
-    vm: VersionManager
-    pm: ProviderManager
+    #: live objects when the control plane is in-parent, proxies when it
+    #: runs on its own agents (same inspection surface either way)
+    vm: Union[VersionManager, VersionManagerProxy]
+    pm: Union[ProviderManager, ProviderManagerProxy]
     data: dict[int, DataProviderProxy]
     meta: dict[int, MetadataProviderProxy]
     cluster_map: ClusterMap
+    #: True when vm/pm live on their own node agents (zero in-parent actors)
+    remote_control_plane: bool = False
+    #: per-actor ``(wire_rpcs, sub_calls)`` already served when the build
+    #: returned — the deployment's own setup traffic (fully-remote control
+    #: plane: provider registration, both the agents' self-registration
+    #: frames and the builder's registration poll). Subtract from
+    #: ``driver.server_stats()`` to get workload-only counts. Exact for
+    #: *launched* clusters (the builder waits until registration traffic
+    #: is quiescent); for operator-run agents dialed via ``endpoints`` an
+    #: agent still retrying its own ``--pm`` registration can land one
+    #: late frame after this snapshot.
+    stats_base: dict = field(default_factory=dict)
+    #: caller-side transport counters at build time (the builder's own
+    #: calls); subtract from ``transport_stats()`` for workload-only counts
+    transport_base: dict = field(default_factory=dict)
     #: launched loopback agents (empty in connected mode)
     agents: list[_AgentProcess] = field(default_factory=list)
     _clients: list[BlobClient] = field(default_factory=list)
+
+    @property
+    def stats_base_rpcs(self) -> int:
+        """Total setup wire RPCs (see :attr:`stats_base`)."""
+        return sum(r for r, _ in self.stats_base.values())
+
+    def in_parent_actors(self) -> list:
+        """Addresses served by threads inside the client parent — the
+        serialization points under ``control_plane="parent"``, the empty
+        list when the deployment is fully distributed."""
+        remote = set(self.driver.remote_addresses())
+        return [a for a in self.driver.addresses() if a not in remote]
 
     def client(self, name: str | None = None) -> BlobClient:
         c = BlobClient(
@@ -247,34 +351,91 @@ def plan_loopback_nodes(spec: DeploymentSpec) -> list[list[str]]:
     return nodes
 
 
+def _await_pm_registration(
+    driver: TcpDriver, spec: DeploymentSpec, deadline: float
+) -> None:
+    """Block until the remote pm has learned every data provider.
+
+    Launched data agents register themselves (they are started with
+    ``--pm``, one wire RPC each); this poll turns that asynchronous
+    start-up into the builder's synchronous guarantee that the pm knows
+    the whole cluster before the first write allocates anything — and,
+    because each agent registers exactly once, that no registration
+    traffic trails into the workload (the conformance suite's wire-RPC
+    equality depends on that quiescence).
+    """
+    expected = set(range(spec.n_data))
+    while True:
+        got = set(driver.call("pm", "pm.providers"))
+        if expected <= got:
+            return
+        if time.monotonic() > deadline:
+            missing = sorted(expected - got)
+            raise ConfigError(
+                f"pm never learned data providers {missing} (agents launched "
+                f"with --pm register at start; is the pm agent reachable?)"
+            )
+        time.sleep(0.05)
+
+
 def build_tcp(
     spec: DeploymentSpec | None = None,
     *,
     endpoints: dict[str, str] | ClusterMap | None = None,
     host: str = "127.0.0.1",
     connect_timeout: float = 5.0,
+    control_plane: str | None = None,
 ) -> TcpDeployment:
     """Assemble a TCP cluster deployment (context-manage it to stop it).
 
     With no ``endpoints`` (and an empty ``spec.endpoints``) a loopback
     cluster of node-agent OS processes is launched; otherwise the given
-    agents are dialed. Either way the builder blocks until every peer
-    holds a live connection, so a returned deployment is serving.
+    agents are dialed. ``control_plane="agents"`` puts the vm and pm on
+    their own node agents too (launched, or dialed from the two extra
+    ``endpoints`` entries ``"vm"``/``"pm"``) so no actor runs in this
+    process; the default ``None`` means ``"agents"`` exactly when the
+    endpoint map names both control actors, else ``"parent"``. Either
+    way the builder blocks until every peer holds a live connection and
+    the pm knows every data provider, so a returned deployment is
+    serving and allocatable.
     """
     spec = spec or DeploymentSpec()
     endpoints = endpoints if endpoints is not None else (spec.endpoints or None)
+    if control_plane not in (None, "parent", "agents"):
+        raise ConfigError(
+            f"control_plane must be 'parent' or 'agents', got {control_plane!r}"
+        )
 
     agents: list[_AgentProcess] = []
     try:
+        deadline = time.monotonic() + LAUNCH_TIMEOUT
         if endpoints is None:
-            deadline = time.monotonic() + LAUNCH_TIMEOUT
+            remote_cp = control_plane == "agents"
+            cluster_map = ClusterMap()
             # append one at a time: if the k-th launch raises (EMFILE,
             # ENOMEM), the k-1 agents already running must be visible to
             # the except-cleanup below, or they leak as orphan processes
+            storage_args: list[str] = []
+            if remote_cp:
+                # control plane first: storage agents need the pm's
+                # endpoint on their command line to self-register
+                agents.append(_AgentProcess(["vm"], host, False))
+                pm_args = ["--strategy", spec.strategy,
+                           "--replication", str(spec.replication)]
+                if spec.strategy_kwargs:
+                    pm_args += ["--strategy-kwargs",
+                                json.dumps(spec.strategy_kwargs)]
+                agents.append(_AgentProcess(["pm"], host, False, pm_args))
+                cluster_map.add("vm", agents[0].wait_ready(deadline))
+                pm_endpoint = agents[1].wait_ready(deadline)
+                cluster_map.add("pm", pm_endpoint)
+                storage_args = ["--pm", str(pm_endpoint)]
+            first_storage = len(agents)
             for names in plan_loopback_nodes(spec):
-                agents.append(_AgentProcess(names, host, spec.page_checksums))
-            cluster_map = ClusterMap()
-            for agent in agents:
+                agents.append(
+                    _AgentProcess(names, host, spec.page_checksums, storage_args)
+                )
+            for agent in agents[first_storage:]:
                 endpoint = agent.wait_ready(deadline)
                 for name in agent.actor_names:
                     cluster_map.add(name, endpoint)
@@ -284,6 +445,24 @@ def build_tcp(
                 if isinstance(endpoints, ClusterMap)
                 else ClusterMap.from_spec(endpoints)
             )
+            if control_plane is None:
+                remote_cp = cluster_map.has_control_plane()
+            else:
+                remote_cp = control_plane == "agents"
+            if remote_cp and not cluster_map.has_control_plane():
+                raise ConfigError(
+                    "control_plane='agents' needs endpoints for 'vm' and 'pm'"
+                )
+        if not remote_cp and any(a in cluster_map for a in CONTROL_ACTORS):
+            # a partial map (only one of vm/pm) must not silently fall
+            # back to an in-parent control plane either: a fresh parent
+            # vm next to an operator's vm agent means two disjoint
+            # version histories
+            raise ConfigError(
+                "endpoints name a control actor ('vm'/'pm') but the "
+                "control plane is in-parent; name both and pass "
+                "control_plane='agents' (or drop the entries)"
+            )
         for i in range(spec.n_data):
             if ("data", i) not in cluster_map:
                 raise ConfigError(f"no endpoint for actor 'data/{i}'")
@@ -291,24 +470,67 @@ def build_tcp(
             if ("meta", i) not in cluster_map:
                 raise ConfigError(f"no endpoint for actor 'meta/{i}'")
 
-        vm = VersionManager()
-        pm = ProviderManager(
-            make_strategy(spec.strategy, **spec.strategy_kwargs),
-            replication=spec.replication,
-        )
-        for i in range(spec.n_data):
-            pm.register(i)
         driver = TcpDriver(connect_timeout=connect_timeout)
         try:
-            driver.register("vm", vm)
-            driver.register("pm", pm)
+            if remote_cp:
+                driver.register_remote("vm", cluster_map.endpoint_for("vm"))
+                driver.register_remote("pm", cluster_map.endpoint_for("pm"))
+                vm: Union[VersionManager, VersionManagerProxy] = (
+                    VersionManagerProxy(driver)
+                )
+                pm: Union[ProviderManager, ProviderManagerProxy] = (
+                    ProviderManagerProxy(driver)
+                )
+            else:
+                vm = VersionManager()
+                pm = ProviderManager(
+                    make_strategy(spec.strategy, **spec.strategy_kwargs),
+                    replication=spec.replication,
+                )
+                for i in range(spec.n_data):
+                    pm.register(i)
+                driver.register("vm", vm)
+                driver.register("pm", pm)
             for i in range(spec.n_data):
                 driver.register_remote(("data", i), cluster_map.endpoint_for(("data", i)))
             for i in range(spec.n_meta):
                 driver.register_remote(("meta", i), cluster_map.endpoint_for(("meta", i)))
             driver.wait_connected(timeout=max(connect_timeout, 10.0))
+            if remote_cp:
+                # the remote pm must agree with the spec the clients
+                # plan around: a silent replication mismatch surfaces
+                # only as data loss at the first storage-node failure
+                pm_config = driver.call("pm", "pm.config")
+                expected = {
+                    "replication": spec.replication,
+                    "strategy": spec.strategy,
+                    # build the spec's strategy locally to resolve
+                    # constructor defaults, so {} == {"k": 2, "seed": 0}
+                    # compares as the placement-equivalence it is
+                    "strategy_kwargs": make_strategy(
+                        spec.strategy, **spec.strategy_kwargs
+                    ).params(),
+                }
+                if pm_config != expected:
+                    raise ConfigError(
+                        f"the pm agent was started with {pm_config}, but "
+                        f"DeploymentSpec assumes {expected}; restart the pm "
+                        f"with matching --strategy/--replication"
+                    )
+                if agents:
+                    # launched agents self-register; wait for quiescence
+                    _await_pm_registration(driver, spec, deadline)
+                else:
+                    # operator-run agents may predate --pm or still be
+                    # registering: replay deployment-wide registration
+                    # (idempotent — pm membership is a set)
+                    for i in range(spec.n_data):
+                        driver.call("pm", "pm.register", (i,))
         except BaseException:
-            driver.close()
+            # hang up without sending shutdown controls: a failed build
+            # must never stop an operator's running agents (launched
+            # agents are killed by the outer cleanup anyway)
+            driver.abort()
             raise
     except BaseException:
         for agent in agents:
@@ -328,5 +550,10 @@ def build_tcp(
         data=data,
         meta=meta,
         cluster_map=cluster_map,
+        remote_control_plane=remote_cp,
+        # stats controls are not counted as wire RPCs, so this snapshot
+        # is itself invisible to the counters it baselines
+        stats_base=driver.server_stats(),
+        transport_base=driver.transport_stats(),
         agents=agents,
     )

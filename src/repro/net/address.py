@@ -16,9 +16,21 @@ needs the same addresses in three portable forms:
   :class:`~repro.core.config.DeploymentSpec.endpoints` carries) so the
   exact same deployment code drives loopback CI ports and real hosts.
 
-Only the two actor shapes the system actually uses are representable —
-a bare string kind (``vm``, ``pm``) and a ``(kind, index)`` pair — which
-is what makes the textual form total and unambiguous.
+Invariants (the actor-name grammar, pinned by
+``tests/test_tcp_transport.py``):
+
+- only the two actor shapes the system actually uses are representable —
+  a bare string kind (``vm``, ``pm``) and a ``(kind, index)`` pair with
+  ``index >= 0`` — which is what makes the textual form total and
+  unambiguous; ``format_actor``/``parse_actor`` are exact inverses on
+  every representable address;
+- the control-plane actors ``vm`` and ``pm`` are first-class addresses:
+  a cluster map may bind them to endpoints exactly like ``data/N``
+  (:meth:`ClusterMap.has_control_plane` asks whether a map describes a
+  fully distributed control plane), which is how a deployment runs with
+  no actor in the client parent;
+- a :class:`ClusterMap` never maps one actor twice, so every driver dial
+  has exactly one destination.
 """
 
 from __future__ import annotations
@@ -31,6 +43,10 @@ Address = Hashable
 
 #: separator between kind and index in an actor name ("data/3")
 _ACTOR_SEP = "/"
+
+#: the deployment-singleton actors: the version manager (the system's one
+#: serialization point) and the provider manager (the allocation authority)
+CONTROL_ACTORS = ("vm", "pm")
 
 
 class Endpoint(NamedTuple):
@@ -153,6 +169,12 @@ class ClusterMap:
         for endpoint in self._endpoints.values():
             seen.setdefault(endpoint, None)
         return list(seen)
+
+    def has_control_plane(self) -> bool:
+        """True when the map binds *both* control-plane actors (``vm`` and
+        ``pm``) to endpoints — i.e. it describes a fully distributed
+        deployment where no actor lives in the client parent."""
+        return all(actor in self._endpoints for actor in CONTROL_ACTORS)
 
     def to_spec(self) -> dict[str, str]:
         """Plain-string form suitable for ``DeploymentSpec.endpoints``."""

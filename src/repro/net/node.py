@@ -1,31 +1,43 @@
 """Node agent: hosts actors behind a TCP listener.
 
 This is the server half of the cluster subsystem — the piece that runs on
-every storage host. One agent process listens on one ``host:port``
-endpoint and hosts any number of actors (the paper's layout colocates one
-data and one metadata provider per node). Clients are
+every cluster host. One agent process listens on one ``host:port``
+endpoint and hosts any number of actors: the paper's layout colocates one
+data and one metadata provider per storage node and gives the version
+manager (``vm``) and provider manager (``pm``) dedicated machines — all
+four actor kinds are hosted by this same agent. Clients are
 :class:`~repro.net.tcp.TcpDriver` peers; the wire protocol is exactly the
 worker-process protocol (:mod:`repro.net.codec` messages carrying
 ``("rpc", sub_calls)`` and ``stats``/``shutdown`` controls), prefixed by
-one handshake:
+one handshake.
 
-1. the connecting peer sends ``("hello", actor_name)`` naming the actor
-   this connection will serve (``"data/3"`` — see
-   :mod:`repro.net.address`);
-2. the agent answers ``("welcome", actor_name)`` and binds the connection
-   to that actor, or ``("reject", reason)`` and closes it.
+Invariants this module guarantees (pinned by ``tests/test_tcp_transport.py``
+and ``tests/test_tcp_control_plane.py``):
 
-Actor confinement is preserved exactly as in the threaded and process
-drivers: every actor is served by a single dedicated service thread with
-an inbox queue, so actor code needs no locking no matter how many
-connections (a live driver plus a reconnecting one, say) feed it.
-Connection pump threads only decode and enqueue; replies go out on the
-connection the request arrived on.
-
-An agent shuts down when every actor it hosts has received the
-``shutdown`` control — the driver's orderly close — at which point
-:meth:`NodeAgent.serve_forever` returns and the CLI wrapper
-(:mod:`repro.tools.node`) exits 0.
+- **hello/welcome binding**: the first message on every fresh connection
+  is ``("hello", actor_name)`` naming the one actor the connection will
+  serve (``"data/3"`` — grammar in :mod:`repro.net.address`); the agent
+  answers ``("welcome", actor_name)`` and binds the connection to that
+  actor, or ``("reject", reason)`` and closes it. A client may pipeline
+  RPCs behind its hello without waiting for the welcome: the service
+  loop resumes the handshake's decoder, so buffered complete messages
+  and even a partial frame straddling the handshake boundary are
+  honored, never dropped.
+- **actor confinement**: every hosted actor is served by a single
+  dedicated service thread with an inbox queue — actor code needs no
+  locking no matter how many connections (a live driver plus a
+  reconnecting one, say) feed it. Connection pump threads only decode
+  and enqueue; replies go out on the connection the request arrived on.
+- **provider registration at agent start**: given the pm's endpoint, an
+  agent hosting data providers registers each of them with the provider
+  manager the moment it starts serving (the paper's "each provider
+  registers on entering the system", §III.A), retrying with backoff
+  until the pm is reachable — so a restarted data agent re-enters the
+  allocation pool without operator action.
+- **clean exit**: an agent shuts down when every actor it hosts has
+  received the ``shutdown`` control — the driver's orderly close — at
+  which point :meth:`NodeAgent.serve_forever` returns and the CLI
+  wrapper (:mod:`repro.tools.node`) exits 0.
 """
 
 from __future__ import annotations
@@ -33,10 +45,10 @@ from __future__ import annotations
 import queue
 import socket
 import threading
-from typing import Mapping
+from typing import Iterable, Mapping
 
-from repro.errors import ConfigError, RemoteError
-from repro.net.address import Endpoint, format_actor, parse_actor
+from repro.errors import ConfigError, RemoteError, ReproError
+from repro.net.address import Endpoint, format_actor, parse_actor, parse_endpoint
 from repro.net.codec import (
     MessageDecoder,
     WireCodecError,
@@ -57,16 +69,118 @@ from repro.net.wire import (
 #: the reserved request id both handshake messages travel under
 HANDSHAKE_REQ_ID = 0
 
+#: agent-start pm registration retry delays (the pm agent may come up last)
+REGISTER_BACKOFF_INITIAL = 0.1
+REGISTER_BACKOFF_MAX = 2.0
 
-def build_actor(name: str, *, checksum: bool = False) -> tuple[Address, Actor]:
+
+class HandshakeError(ReproError):
+    """The agent answered the hello with a reject (or garbage)."""
+
+
+def connect_and_handshake(
+    endpoint: Endpoint, actor_name: str, timeout: float
+) -> socket.socket:
+    """Dial an agent and bind the fresh connection to one actor.
+
+    The client side of the hello/welcome exchange (the server side lives
+    in :meth:`NodeAgent._handshake`). Returns a connected, tuned,
+    blocking socket; raises ``OSError`` on dial failure and
+    :class:`HandshakeError` on a reject.
+    """
+    sock = socket.create_connection((endpoint.host, endpoint.port), timeout=timeout)
+    try:
+        tune_socket(sock)
+        sock.sendall(encode_message(HANDSHAKE_REQ_ID, ("hello", actor_name)))
+        decoder = MessageDecoder()
+        reply = None
+        while reply is None:
+            chunk = sock.recv(4096)
+            if not chunk:
+                raise HandshakeError(
+                    f"agent at {endpoint} closed the connection mid-handshake"
+                )
+            for _req_id, body in decoder.feed(chunk):
+                reply = decode_body(body)
+                break
+        if (
+            not isinstance(reply, tuple)
+            or len(reply) != 2
+            or reply[0] not in ("welcome", "reject")
+        ):
+            raise HandshakeError(f"bad handshake reply from {endpoint}: {reply!r}")
+        if reply[0] == "reject":
+            raise HandshakeError(f"agent at {endpoint} rejected {actor_name!r}: {reply[1]}")
+        sock.settimeout(None)
+        return sock
+    except BaseException:
+        sock.close()
+        raise
+
+
+def register_providers(
+    pm_endpoint: Endpoint | str,
+    provider_ids: Iterable[int],
+    *,
+    timeout: float = 5.0,
+    on_socket=None,
+) -> list[int]:
+    """One registration round-trip: dial the pm agent, register providers.
+
+    Sends a single ``("rpc", ...)`` frame carrying one ``pm.register``
+    sub-call per provider id and waits for the reply, so registration is
+    atomic from the pm's point of view (one wire RPC per registering
+    agent). Raises ``OSError`` if the pm agent is unreachable,
+    :class:`HandshakeError` on a reject, and
+    :class:`~repro.errors.RemoteError` if the pm answered any register
+    with an error. Returns the pm's provider counts, one per id.
+    """
+    ids = list(provider_ids)
+    endpoint = parse_endpoint(pm_endpoint)
+    sock = connect_and_handshake(endpoint, "pm", timeout)
+    if on_socket is not None:
+        # let the caller sever this socket from another thread (an agent
+        # being closed must be able to cancel an in-flight registration)
+        on_socket(sock)
+    try:
+        payload = [("pm.register", (i,)) for i in ids]
+        sock.sendall(encode_message(1, ("rpc", payload)))
+        sock.settimeout(timeout)
+        decoder = MessageDecoder()
+        while True:
+            chunk = sock.recv(RECV_CHUNK)
+            if not chunk:
+                raise HandshakeError(
+                    f"pm agent at {endpoint} closed before acking registration"
+                )
+            for _req_id, body in decoder.feed(chunk):
+                results = decode_body(body)
+                for value in results:
+                    if isinstance(value, RemoteError):
+                        raise value
+                return results
+    finally:
+        force_close(sock)
+
+
+def build_actor(
+    name: str,
+    *,
+    checksum: bool = False,
+    strategy: str = "round_robin",
+    strategy_kwargs: Mapping | None = None,
+    replication: int = 1,
+) -> tuple[Address, Actor]:
     """Construct the actor a CLI ``--actor`` spec names.
 
     ``data/N`` and ``meta/N`` build providers (the actors a cluster
-    distributes); ``vm`` builds a version manager for deployments that
-    want the serialization point on its own host. ``pm`` is deliberately
-    not constructible here: the provider manager needs deployment-wide
-    registration of every data provider, which only the deployment
-    builder knows.
+    distributes); ``vm`` builds a version manager and ``pm`` a provider
+    manager for deployments that put the control plane on its own hosts
+    (the paper's layout). A pm built here starts with an *empty*
+    provider registry: data agents register their providers with it at
+    start (``pm_endpoint``), and :func:`repro.deploy.tcp.build_tcp`
+    additionally replays registration over the wire in connected mode,
+    so the pm always learns the whole cluster before the first write.
     """
     address = parse_actor(name)
     if isinstance(address, tuple):
@@ -83,8 +197,16 @@ def build_actor(name: str, *, checksum: bool = False) -> tuple[Address, Actor]:
         from repro.version.manager import VersionManager
 
         return address, VersionManager()
+    elif address == "pm":
+        from repro.providers.manager import ProviderManager
+        from repro.providers.strategies import make_strategy
+
+        return address, ProviderManager(
+            make_strategy(strategy, **dict(strategy_kwargs or {})),
+            replication=replication,
+        )
     raise ConfigError(
-        f"cannot build actor {name!r}: expected data/N, meta/N or vm"
+        f"cannot build actor {name!r}: expected data/N, meta/N, vm or pm"
     )
 
 
@@ -155,6 +277,14 @@ class NodeAgent:
     run agents in-thread via :meth:`start`, deployments run them as OS
     processes. ``port=0`` binds an ephemeral port; read :attr:`endpoint`
     for the real one.
+
+    ``pm_endpoint`` names the provider manager's agent: when given and
+    the agent hosts data providers, a background thread registers each
+    of them with the pm (one wire RPC, retried with backoff until the pm
+    is reachable or this agent stops) — the deployment-wide registration
+    that lets a cluster run its pm on its own host, and lets a
+    *restarted* data agent rejoin the allocation pool by itself.
+    :attr:`pm_registered` is set once the pm has acked.
     """
 
     def __init__(
@@ -162,6 +292,7 @@ class NodeAgent:
         actors: Mapping[Address | str, Actor],
         host: str = "127.0.0.1",
         port: int = 0,
+        pm_endpoint: Endpoint | str | None = None,
     ) -> None:
         self._services: dict[str, _ActorService] = {}
         for address, actor in actors.items():
@@ -173,6 +304,10 @@ class NodeAgent:
             self._services[name] = _ActorService(self, address, actor)
         if not self._services:
             raise ConfigError("a node agent needs at least one actor")
+        # validate before binding: a bad endpoint must not leak a listener
+        self._pm_endpoint = (
+            parse_endpoint(pm_endpoint) if pm_endpoint is not None else None
+        )
         self._listener = socket.create_server((host, port))
         bound = self._listener.getsockname()
         self.endpoint = Endpoint(host, bound[1])
@@ -183,6 +318,56 @@ class NodeAgent:
         self._serving = threading.Event()  # serve_forever entered
         self._serve_done = threading.Event()  # serve_forever returned
         self._serve_thread: threading.Thread | None = None
+        #: set once the pm has acked this agent's provider registration
+        self.pm_registered = threading.Event()
+        self._register_sock: socket.socket | None = None
+        self._register_thread: threading.Thread | None = None
+        hosted_data = [
+            s.address[1]
+            for s in self._services.values()
+            if isinstance(s.address, tuple) and s.address[0] == "data"
+        ]
+        if self._pm_endpoint is not None and hosted_data:
+            self._register_thread = threading.Thread(
+                target=self._register_loop,
+                args=(sorted(hosted_data),),
+                name=f"register-{self.endpoint}",
+                daemon=True,
+            )
+            self._register_thread.start()
+
+    def _register_loop(self, provider_ids: list[int]) -> None:
+        """Register hosted data providers with the pm, until acked.
+
+        Runs from construction (an agent is dialable the moment its
+        listener is bound, before ``serve_forever``), so a launcher that
+        reads the READY line never waits on the pm. Backoff covers the
+        start-order race — the pm agent may come up after this one.
+        ``close()`` cancels an in-flight attempt by severing the tracked
+        socket, so a stopped agent never registers itself afterwards."""
+
+        def track(sock: socket.socket) -> None:
+            with self._lock:
+                self._register_sock = sock
+            if self._stopped.is_set():  # close() raced the dial: cancel
+                force_close(sock)
+
+        backoff = REGISTER_BACKOFF_INITIAL
+        while not self._stopped.is_set():
+            try:
+                register_providers(
+                    self._pm_endpoint, provider_ids, on_socket=track
+                )
+            except (OSError, ReproError):
+                self._stopped.wait(backoff)
+                backoff = min(backoff * 2, REGISTER_BACKOFF_MAX)
+                continue
+            finally:
+                with self._lock:
+                    self._register_sock = None
+            if not self._stopped.is_set():
+                self.pm_registered.set()
+            return
 
     @property
     def actor_names(self) -> list[str]:
@@ -268,6 +453,14 @@ class NodeAgent:
         for service in self._services.values():
             service.inbox.put(None)
         self._close_conns()
+        # cancel an in-flight pm registration: a stopped agent must never
+        # (re-)enter the allocation pool after the operator took it down
+        with self._lock:
+            register_sock = self._register_sock
+        if register_sock is not None:
+            force_close(register_sock)
+        if self._register_thread is not None:
+            self._register_thread.join(timeout=2.0)
         if self._serving.is_set():
             self._serve_done.wait(2.0)
 

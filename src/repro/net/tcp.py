@@ -27,15 +27,28 @@ Each registered remote actor gets a :class:`TcpPeer`:
   a *restarted* agent is picked up automatically: reconnect-safe
   fail-over, not fail-once-and-forget.
 
-Failure-mode parity with the process driver is pinned by
-``tests/test_tcp_transport.py`` (mirroring ``test_process_transport.py``)
-and bit-level conformance with all four other drivers by
-``tests/test_driver_conformance.py``.
+Invariants this module guarantees (failure-mode parity with the process
+driver is pinned by ``tests/test_tcp_transport.py``, mirroring
+``test_process_transport.py``; bit-level conformance with every other
+driver — including the fully-remote control-plane configuration — by
+``tests/test_driver_conformance.py``):
+
+- **drain-as-RemoteError**: a dead connection never strands a caller —
+  in-flight calls complete with :class:`~repro.errors.RemoteError` and
+  future calls fail fast while the peer is down, so replica fail-over
+  proceeds immediately instead of blocking behind a dial timeout;
+- **reconnect with backoff**: each peer's connector retries its dial on
+  an exponential schedule from ``BACKOFF_INITIAL`` capped at
+  ``BACKOFF_MAX``, so a restarted agent on the same endpoint resumes
+  service with no driver restart and no re-registration;
+- **any actor kind is dialable**: ``vm`` and ``pm`` are remote actors
+  exactly like ``data/N`` and ``meta/N`` — the driver treats every
+  address uniformly, which is what lets a deployment run with *zero*
+  actors in the client parent.
 """
 
 from __future__ import annotations
 
-import socket
 import threading
 from typing import Any, Mapping
 
@@ -46,63 +59,32 @@ from repro.net.address import (
     format_actor,
     parse_endpoint,
 )
-from repro.net.codec import MessageDecoder, decode_body, encode_message
-from repro.net.node import HANDSHAKE_REQ_ID
+from repro.net.node import (  # re-exported: the public dial-an-agent surface
+    HANDSHAKE_REQ_ID,
+    HandshakeError,
+    connect_and_handshake,
+)
 from repro.net.sansio import Actor, Address, WireGroup
 from repro.net.wire import (
     CTL_SHUTDOWN,
     RemoteActorDriver,
     RpcChannel,
-    tune_socket,
 )
 from repro.net.threaded import _BatchLatch
+
+__all__ = [
+    "BACKOFF_INITIAL",
+    "BACKOFF_MAX",
+    "HANDSHAKE_REQ_ID",
+    "HandshakeError",
+    "TcpDriver",
+    "TcpPeer",
+    "connect_and_handshake",
+]
 
 #: first dial retry delay; doubles per failure up to BACKOFF_MAX
 BACKOFF_INITIAL = 0.05
 BACKOFF_MAX = 2.0
-
-
-class HandshakeError(ReproError):
-    """The agent answered the hello with a reject (or garbage)."""
-
-
-def connect_and_handshake(
-    endpoint: Endpoint, actor_name: str, timeout: float
-) -> socket.socket:
-    """Dial an agent and bind the fresh connection to one actor.
-
-    Returns a connected, tuned, blocking socket that has completed the
-    ``hello``/``welcome`` exchange; raises ``OSError`` on dial failure
-    and :class:`HandshakeError` on a reject.
-    """
-    sock = socket.create_connection((endpoint.host, endpoint.port), timeout=timeout)
-    try:
-        tune_socket(sock)
-        sock.sendall(encode_message(HANDSHAKE_REQ_ID, ("hello", actor_name)))
-        decoder = MessageDecoder()
-        reply = None
-        while reply is None:
-            chunk = sock.recv(4096)
-            if not chunk:
-                raise HandshakeError(
-                    f"agent at {endpoint} closed the connection mid-handshake"
-                )
-            for _req_id, body in decoder.feed(chunk):
-                reply = decode_body(body)
-                break
-        if (
-            not isinstance(reply, tuple)
-            or len(reply) != 2
-            or reply[0] not in ("welcome", "reject")
-        ):
-            raise HandshakeError(f"bad handshake reply from {endpoint}: {reply!r}")
-        if reply[0] == "reject":
-            raise HandshakeError(f"agent at {endpoint} rejected {actor_name!r}: {reply[1]}")
-        sock.settimeout(None)
-        return sock
-    except BaseException:
-        sock.close()
-        raise
 
 
 class TcpPeer:
@@ -246,6 +228,18 @@ class TcpPeer:
 
     def stop(self, timeout: float = 10.0) -> None:
         """Orderly shutdown: tell the remote actor to stop, then hang up."""
+        self._shutdown(send_shutdown=True, timeout=timeout)
+
+    def abort(self) -> None:
+        """Hang up *without* stopping the remote actor.
+
+        The teardown for a failed build against operator-run agents: the
+        builder must release its connections, but sending the shutdown
+        control would stop a cluster the operator still wants running.
+        """
+        self._shutdown(send_shutdown=False, timeout=0.0)
+
+    def _shutdown(self, send_shutdown: bool, timeout: float) -> None:
         with self._lock:
             if self._closed:
                 return
@@ -254,11 +248,16 @@ class TcpPeer:
             self._channel = None
         self._wake.set()
         if channel is not None:
-            try:
-                channel.control(CTL_SHUTDOWN, timeout=timeout)
-            except (RemoteError, TimeoutError):
-                pass  # peer already dead or wedged; just hang up
-            channel.close("peer stopped by driver close")
+            if send_shutdown:
+                try:
+                    channel.control(CTL_SHUTDOWN, timeout=timeout)
+                except (RemoteError, TimeoutError):
+                    pass  # peer already dead or wedged; just hang up
+            channel.close(
+                "peer stopped by driver close"
+                if send_shutdown
+                else "peer aborted (driver hang-up)"
+            )
         self._connected.clear()
         self._thread.join(timeout=5)
 
@@ -346,3 +345,21 @@ class TcpDriver(RemoteActorDriver):
             a: ("connected" if p.connected else str(p.down_reason))
             for a, p in peers.items()
         }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def abort(self) -> None:
+        """Close without stopping the remote actors.
+
+        ``close()`` is the orderly teardown — every hosted actor gets the
+        ``shutdown`` control and agents exit. ``abort()`` only hangs up:
+        the teardown for a *failed build* against operator-run agents,
+        which must leave the operator's cluster serving.
+        """
+        with self._lock:
+            peers = list(self._remotes.values())
+        for peer in peers:
+            peer.abort()
+        # aborted peers make their stop() a no-op, so the inherited close
+        # only stops in-parent service threads and marks the driver closed
+        self.close()

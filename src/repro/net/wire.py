@@ -20,6 +20,24 @@ process vs. a real TCP connection to a node agent). Everything that is
   :func:`~repro.net.sansio.plan_wire_groups`, one message per destination.
 - the control vocabulary (``stats``, ``shutdown``) and the reply encoder
   shared by worker processes and node agents.
+
+Invariants this module guarantees (pinned by the process- and
+tcp-transport suites):
+
+- **submits never block**: frames leave through an outbound queue drained
+  by a dedicated sender thread per channel, so a caller is never stuck on
+  a busy peer's socket backpressure;
+- **replies route by header, decode on the caller**: the receiver thread
+  touches only the 12-byte message header — payload unpickling happens on
+  the caller thread that asked for the data, concurrently across callers;
+- **drain-as-RemoteError, exactly once**: channel death (EOF, kill, send
+  failure, codec corruption) completes every pending request with a
+  :class:`~repro.errors.RemoteError`, fails all future submissions fast,
+  and fires ``on_down`` exactly once, after the drain — no caller ever
+  blocks on a corpse, and no batch latch is ever released twice;
+- **a socket another thread may be blocked in ``recv`` on is severed with
+  ``shutdown(SHUT_RDWR)`` before ``close()``** (:func:`force_close`) — a
+  bare close neither wakes the reader nor sends FIN on Linux.
 """
 
 from __future__ import annotations

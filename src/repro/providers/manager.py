@@ -131,6 +131,23 @@ class ProviderManager:
     def load_view(self) -> dict[int, int]:
         return dict(self._load)
 
+    def config(self) -> dict[str, Any]:
+        """Deployment-visible allocation settings.
+
+        Exposed over the wire (``pm.config``) so a cluster builder can
+        verify a *remote* pm agent was started with the strategy and
+        replication the client's ``DeploymentSpec`` assumes — a silent
+        replication mismatch would surface only as data loss at the
+        first storage-node failure.
+        """
+        return {
+            "replication": self.replication,
+            "strategy": self.strategy.name or type(self.strategy).__name__,
+            # effective params (defaults resolved), so a kwargs mismatch
+            # that would desynchronize placement is caught too
+            "strategy_kwargs": self.strategy.params(),
+        }
+
     # -- RPC dispatch -----------------------------------------------------
 
     def handle(self, method: str, args: tuple) -> Any:
@@ -148,4 +165,6 @@ class ProviderManager:
             return self.heartbeat(*args)
         if method == "pm.tick":
             return self.tick(*args)
+        if method == "pm.config":
+            return self.config()
         raise ValueError(f"provider manager: unknown method {method!r}")

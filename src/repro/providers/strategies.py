@@ -21,6 +21,11 @@ from repro.util.rng import substream
 class AllocationStrategy(ABC):
     """Strategy interface: choose a provider for each fresh page."""
 
+    #: config-file / CLI name (the key in :func:`make_strategy`'s table);
+    #: exposed over the wire via ``pm.config`` so a deployment builder can
+    #: verify a remote pm agrees with the client's DeploymentSpec
+    name = ""
+
     @abstractmethod
     def allocate(
         self,
@@ -33,6 +38,16 @@ class AllocationStrategy(ABC):
     def reset(self) -> None:
         """Forget internal state (e.g. round-robin cursor)."""
 
+    def params(self) -> dict:
+        """Effective constructor parameters (defaults resolved).
+
+        Travels in ``pm.config`` next to :attr:`name` so two strategy
+        instances can be compared for *placement equivalence* across
+        processes — same class and same params means the same
+        deterministic allocation sequence.
+        """
+        return {}
+
 
 class RoundRobin(AllocationStrategy):
     """Cycle through providers; simple and perfectly balanced in aggregate.
@@ -41,6 +56,8 @@ class RoundRobin(AllocationStrategy):
     segment of n pages lands on n distinct providers whenever n <= provider
     count, maximizing parallel transfer.
     """
+
+    name = "round_robin"
 
     def __init__(self) -> None:
         self._cursor = 0
@@ -63,6 +80,8 @@ class LeastLoaded(AllocationStrategy):
     """Greedy: each page goes to the provider with the fewest allocated
     bytes (counting pages allocated earlier in the same request)."""
 
+    name = "least_loaded"
+
     def __init__(self, pagesize_hint: int = 1) -> None:
         self.pagesize_hint = max(1, pagesize_hint)
 
@@ -79,6 +98,9 @@ class LeastLoaded(AllocationStrategy):
             heapq.heappush(heap, (current + self.pagesize_hint, p))
         return out
 
+    def params(self) -> dict:
+        return {"pagesize_hint": self.pagesize_hint}
+
 
 class RandomK(AllocationStrategy):
     """Power-of-k-choices: sample k candidates, take the least loaded.
@@ -87,6 +109,8 @@ class RandomK(AllocationStrategy):
     near-optimal balance with high probability (classic balls-into-bins
     result), at lower bookkeeping cost than :class:`LeastLoaded`.
     """
+
+    name = "random_k"
 
     def __init__(self, k: int = 2, seed: int = 0) -> None:
         if k < 1:
@@ -110,6 +134,9 @@ class RandomK(AllocationStrategy):
 
     def reset(self) -> None:
         self._rng = substream(self._seed, "randomk")
+
+    def params(self) -> dict:
+        return {"k": self.k, "seed": self._seed}
 
 
 def make_strategy(name: str, **kwargs: object) -> AllocationStrategy:

@@ -5,14 +5,24 @@ The deployment unit of the TCP cluster: starts a
 serves until every one of them receives the driver's ``shutdown``
 control, then exits 0. The same invocation works bound to a loopback
 port (single-host CI clusters, which :func:`repro.deploy.tcp.build_tcp`
-launches automatically) and bound to a real interface on a storage host:
+launches automatically) and bound to a real interface on a cluster host
+(the operator runbook is ``docs/OPERATIONS.md``):
 
     # node 3 of a cluster: one data + one metadata provider, paper layout
     python -m repro.tools.node --host 10.0.0.13 --port 7000 \\
-        --actor data/3 --actor meta/3
+        --actor data/3 --actor meta/3 --pm 10.0.0.9:7002
+
+    # the control plane on its own machines (the paper's layout)
+    python -m repro.tools.node --host 10.0.0.8 --port 7001 --actor vm
+    python -m repro.tools.node --host 10.0.0.9 --port 7002 --actor pm
 
     # ephemeral port: the agent prints "READY <host> <port>" on stdout
     python -m repro.tools.node --port 0 --actor data/0
+
+``--pm`` gives a data-hosting agent the provider manager's endpoint: the
+agent registers each hosted data provider with the pm at start (retrying
+with backoff until the pm is reachable), which is how a restarted
+storage node rejoins the allocation pool with no operator action.
 
 The ``READY`` line is the launch protocol: it is printed (and flushed)
 only once the listener is bound, so a launcher may connect the moment it
@@ -23,6 +33,7 @@ without a subprocess.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.errors import ConfigError
@@ -53,14 +64,43 @@ def build_parser() -> argparse.ArgumentParser:
         dest="actors",
         metavar="NAME",
         default=[],
-        help="actor to host: data/N, meta/N or vm; repeatable "
-        "(the paper's layout colocates data/i and meta/i per node)",
+        help="actor to host: data/N, meta/N, vm or pm; repeatable "
+        "(the paper's layout colocates data/i and meta/i per storage "
+        "node and gives vm and pm their own hosts)",
+    )
+    parser.add_argument(
+        "--pm",
+        metavar="HOST:PORT",
+        default=None,
+        help="endpoint of the provider manager's agent; hosted data "
+        "providers register themselves there at start (retried with "
+        "backoff, so start order does not matter)",
     )
     parser.add_argument(
         "--checksum",
         action="store_true",
         help="data providers checksum pages on put and verify on get "
         "(DeploymentSpec.page_checksums integrity mode)",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="round_robin",
+        help="page-allocation strategy for a hosted pm actor "
+        "(round_robin / least_loaded / random_k; default: round_robin)",
+    )
+    parser.add_argument(
+        "--strategy-kwargs",
+        metavar="JSON",
+        default="{}",
+        help="JSON keyword arguments for --strategy "
+        "(e.g. '{\"k\": 2, \"seed\": 7}' for random_k)",
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        help="copies of each page a hosted pm allocates (default: 1, "
+        "the paper's setting)",
     )
     return parser
 
@@ -71,13 +111,29 @@ def main(argv: list[str] | None = None) -> int:
         print("error: at least one --actor is required", file=sys.stderr)
         return 2
     try:
+        strategy_kwargs = json.loads(args.strategy_kwargs)
+        if not isinstance(strategy_kwargs, dict):
+            raise ConfigError(
+                f"--strategy-kwargs must be a JSON object, got {args.strategy_kwargs!r}"
+            )
         actors = dict(
-            build_actor(name, checksum=args.checksum) for name in args.actors
+            build_actor(
+                name,
+                checksum=args.checksum,
+                strategy=args.strategy,
+                strategy_kwargs=strategy_kwargs,
+                replication=args.replication,
+            )
+            for name in args.actors
         )
         if len(actors) != len(args.actors):
             raise ConfigError(f"duplicate --actor in {args.actors}")
-        agent = NodeAgent(actors, host=args.host, port=args.port)
-    except (ConfigError, OSError) as exc:
+        agent = NodeAgent(
+            actors, host=args.host, port=args.port, pm_endpoint=args.pm
+        )
+    except (ConfigError, TypeError, ValueError, OSError) as exc:
+        # TypeError covers --strategy-kwargs that do not fit the chosen
+        # strategy's constructor (e.g. '{"k": 2}' with round_robin)
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(f"READY {agent.endpoint.host} {agent.endpoint.port}", flush=True)

@@ -1,14 +1,17 @@
-"""Cross-driver conformance: inproc vs threaded vs process vs TCP vs simulated.
+"""Cross-driver conformance: inproc vs threaded vs process vs TCP (both
+control-plane layouts) vs simulated.
 
 The paper's claim only holds if the *deployment substrate* is
 interchangeable: the same sans-io WRITE/READ protocols must produce the
 same blobs whether they are dispatched directly (inproc), over real
 per-actor service threads (threaded), across per-actor OS processes
 through the pickle-frame wire codec (process), over real TCP connections
-to node-agent cluster processes (tcp), or on the discrete-event cluster
-model (simulated). This suite replays identical seeded workloads — built
-once as driver-agnostic composite protocol generators — on all five
-deployments and asserts:
+to node-agent cluster processes (tcp — with the vm/pm in the parent, and
+again fully remote with the control plane on its own agents and zero
+in-parent actors: the sixth certified configuration), or on the
+discrete-event cluster model (simulated). This suite replays identical
+seeded workloads — built once as driver-agnostic composite protocol
+generators — on all six deployments and asserts:
 
 - **serial phase** (deterministic, single client): bit-identical page
   contents *and placement*, bit-identical metadata trees (every node
@@ -129,12 +132,34 @@ class ProcessHarness(ThreadedHarness):
 class TcpHarness(ThreadedHarness):
     """Same driver surface again, but every provider actor lives in a
     node-agent OS process behind a loopback TCP endpoint — the cluster
-    deployment, reached through connection handshakes and real sockets."""
+    deployment, reached through connection handshakes and real sockets
+    (vm/pm on parent service threads, the historical tcp layout)."""
 
     name = "tcp"
 
     def __init__(self) -> None:
         self.dep = build_tcp(SPEC)
+
+
+class TcpRemoteHarness(ThreadedHarness):
+    """The fully distributed configuration: vm and pm on their own node
+    agents too, so *no* actor lives in the client parent — the paper's
+    deployment layout in full. Setup generates real wire traffic (data
+    agents register their providers with the pm agent, and the builder
+    polls until the pm knows the cluster), so the post-build counter
+    snapshot in ``stats_base`` is subtracted before comparing workload
+    wire-RPC counts with the other drivers."""
+
+    name = "tcp-remote"
+
+    def __init__(self) -> None:
+        self.dep = build_tcp(SPEC, control_plane="agents")
+        try:
+            assert self.dep.in_parent_actors() == []
+            self.stats_base = self.dep.stats_base
+        except BaseException:  # never leak a cluster of OS processes
+            self.dep.close()
+            raise
 
 
 class SimulatedHarness:
@@ -166,16 +191,22 @@ class SimulatedHarness:
 
 
 def all_harnesses():
-    return [
-        InprocHarness(),
-        ThreadedHarness(),
-        ProcessHarness(),
-        TcpHarness(),
-        SimulatedHarness(),
-    ]
+    """Yield harnesses lazily, one at a time: the caller closes each
+    before the next is built, so a constructor failure cannot leak the
+    already-run deployments (and only one cluster of OS processes is
+    ever alive at once)."""
+    for cls in (
+        InprocHarness,
+        ThreadedHarness,
+        ProcessHarness,
+        TcpHarness,
+        TcpRemoteHarness,
+        SimulatedHarness,
+    ):
+        yield cls()
 
 
-OTHER_DRIVERS = ("threaded", "process", "tcp", "simulated")
+OTHER_DRIVERS = ("threaded", "process", "tcp", "tcp-remote", "simulated")
 
 
 # ---------------------------------------------------------------------------
@@ -291,6 +322,15 @@ def _run_serial(harness):
     server_stats = (
         driver.server_stats() if hasattr(driver, "server_stats") else None
     )
+    if server_stats is not None:
+        # Subtract setup traffic (fully-remote control plane: provider
+        # registration + the builder's registration poll) so only the
+        # replayed workload is compared across drivers.
+        base = getattr(harness, "stats_base", {})
+        server_stats = {
+            a: (r - base.get(a, (0, 0))[0], c - base.get(a, (0, 0))[1])
+            for a, (r, c) in server_stats.items()
+        }
     return {
         "server_stats": server_stats,
         "blob_id": blob_id,
@@ -492,25 +532,36 @@ def test_concurrent_workload_equivalent_across_drivers():
 
 
 def test_transport_batching_equivalent_sub_calls():
-    """The threaded, process, TCP and simulated drivers must issue
-    identical wire-RPC and sub-call counts for an identical serial
-    workload — all four execute exactly the groups `plan_wire_groups`
+    """The threaded, process, both TCP and the simulated drivers must
+    issue identical wire-RPC and sub-call counts for an identical serial
+    workload — all five execute exactly the groups `plan_wire_groups`
     plans (shared framing); for the process and TCP drivers the counts
     are reported by the worker processes / node agents themselves over
-    the control channel."""
-    threaded, process, tcp, simulated = (
-        ThreadedHarness(), ProcessHarness(), TcpHarness(), SimulatedHarness()
-    )
+    the control channel. For the fully-remote configuration this also
+    proves the vm/pm *workload* traffic is identical whether they are
+    parent service threads or agents on other machines (setup
+    registration subtracted via the harness baseline)."""
+    harnesses: list = []
     try:
+        # construct inside the try (one by one) so a failing constructor
+        # cannot leak the deployments already built
+        for cls in (
+            ThreadedHarness, ProcessHarness, TcpHarness, TcpRemoteHarness,
+            SimulatedHarness,
+        ):
+            harnesses.append(cls())
+        threaded, process, tcp, tcp_remote, simulated = harnesses
         t = _run_serial(threaded)
         p = _run_serial(process)
         n = _run_serial(tcp)
+        r = _run_serial(tcp_remote)
         s = _run_serial(simulated)
-        assert t["pages"] == s["pages"] == p["pages"] == n["pages"]
-        t_stats, p_stats, n_stats = (
-            t["server_stats"], p["server_stats"], n["server_stats"]
+        assert t["pages"] == s["pages"] == p["pages"] == n["pages"] == r["pages"]
+        t_stats, p_stats, n_stats, r_stats = (
+            t["server_stats"], p["server_stats"], n["server_stats"],
+            r["server_stats"],
         )
-        t_rpcs = sum(r for r, _ in t_stats.values())
+        t_rpcs = sum(rr for rr, _ in t_stats.values())
         t_calls = sum(c for _, c in t_stats.values())
         assert t_stats == p_stats, (
             "process and threaded drivers framed the same workload differently"
@@ -518,12 +569,14 @@ def test_transport_batching_equivalent_sub_calls():
         assert t_stats == n_stats, (
             "TCP and threaded drivers framed the same workload differently"
         )
+        assert t_stats == r_stats, (
+            "fully-remote TCP (vm/pm on agents) framed the same workload "
+            "differently from threaded"
+        )
         assert (t_rpcs, t_calls) == (
             simulated.dep.executor.wire_rpcs,
             simulated.dep.executor.sub_calls,
         ), "threaded and simulated drivers framed the same workload differently"
     finally:
-        threaded.close()
-        process.close()
-        tcp.close()
-        simulated.close()
+        for h in harnesses:
+            h.close()

@@ -113,7 +113,15 @@ def test_build_actor_specs():
     assert address == ("meta", 0)
     _, vm = build_actor("vm")
     assert callable(vm.handle)  # a servable actor
-    for bad in ("pm", "unknown/1", "data"):
+    address, pm = build_actor("pm", replication=2)
+    assert address == "pm"
+    assert pm.replication == 2
+    assert pm.providers() == []  # starts empty: agents register at start
+    _, pm_rk = build_actor(
+        "pm", strategy="random_k", strategy_kwargs={"k": 2, "seed": 7}
+    )
+    assert callable(pm_rk.handle)
+    for bad in ("unknown/1", "data"):
         with pytest.raises(ConfigError):
             build_actor(bad)
 
@@ -514,9 +522,11 @@ def test_missing_endpoint_fails_the_build():
 
 
 def test_supernovae_example_runs_on_loopback_cluster():
-    """The paper's §VI application on the paper's deployment architecture:
-    ``examples/supernovae_detection.py --deploy tcp`` launches eight node
-    agents as OS processes and runs the survey over real sockets."""
+    """The paper's §VI application on the paper's deployment architecture,
+    now in full: ``examples/supernovae_detection.py --deploy tcp``
+    launches ten node agents as OS processes — eight storage nodes plus
+    the vm and pm on their own agents — and runs the survey over real
+    sockets with zero actors in the client parent."""
     import pathlib
     import subprocess
     import sys
@@ -534,5 +544,6 @@ def test_supernovae_example_runs_on_loopback_cluster():
         timeout=240,
     )
     assert result.returncode == 0, result.stderr[-2000:]
-    assert "TCP cluster: 8 node agents" in result.stdout
+    assert "TCP cluster: 10 node agents" in result.stdout
+    assert "in-parent actors: 0" in result.stdout
     assert "precision" in result.stdout and "recall" in result.stdout
