@@ -15,18 +15,27 @@ import hashlib
 import os
 from pathlib import Path
 
+from repro.core.journal import check_fsync_policy, sync_dir, sync_file
 from repro.providers.page import PageKey, PagePayload
 
 
 class DiskSpill:
-    """File-per-page persistence under a root directory."""
+    """File-per-page persistence under a root directory.
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    ``fsync`` takes the same policy knob as the control-plane journal
+    (``"never"``/``"always"``): under ``"always"`` every stored page is
+    fsync'd before its atomic rename and the parent directory is fsync'd
+    after, so a power loss can never publish an empty or torn page file.
+    """
+
+    def __init__(self, root: str | os.PathLike, *, fsync: str = "never") -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.fsync = check_fsync_policy(fsync)
         self.stores = 0
         self.loads = 0
         self.bytes_spilled = 0
+        self.fsyncs = 0
 
     def _path(self, key: PageKey) -> Path:
         digest = hashlib.sha1(
@@ -45,8 +54,17 @@ class DiskSpill:
         # disk with no intermediate materialization. Only virtual payloads
         # manufacture bytes (their zeros exist nowhere yet).
         view = payload.view()
-        tmp.write_bytes(view if view is not None else bytes(payload.nbytes))
+        with open(tmp, "wb") as f:
+            f.write(view if view is not None else bytes(payload.nbytes))
+            if self.fsync == "always":
+                # the data must be durable BEFORE the rename publishes it,
+                # else a power loss can expose an empty/torn page file
+                sync_file(f)
+                self.fsyncs += 1
         os.replace(tmp, path)  # atomic publish: readers never see torn pages
+        if self.fsync == "always":
+            sync_dir(path.parent)  # make the new directory entry durable
+            self.fsyncs += 1
         self.stores += 1
         self.bytes_spilled += payload.nbytes
 

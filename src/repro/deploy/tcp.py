@@ -153,10 +153,34 @@ class _AgentProcess:
             if env.get("PYTHONPATH")
             else src_dir
         )
+        # kept for respawn(): a restarted agent reruns the same command
+        self.argv = argv
+        self.env = env
         self.proc = subprocess.Popen(
             argv, stdout=subprocess.PIPE, env=env, text=True
         )
         self.endpoint: Endpoint | None = None
+
+    def respawn(self) -> None:
+        """Relaunch a dead agent on the **same** endpoint.
+
+        The original launch used ``--port 0``; the respawn pins the port
+        the first incarnation announced, so every peer's automatic
+        redial (same ``host:port``) reaches the new process. Follow with
+        :meth:`wait_ready`. Only meaningful for agents started with a
+        ``--state-dir`` — a stateless vm/pm comes back empty.
+        """
+        if self.endpoint is None:
+            raise RuntimeError("agent was never READY; nothing to respawn")
+        if self.proc.poll() is None:
+            raise RuntimeError(f"agent {self.actor_names} is still running")
+        self.close_pipe()
+        argv = list(self.argv)
+        argv[argv.index("--port") + 1] = str(self.endpoint.port)
+        self.proc = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, env=self.env, text=True
+        )
+        self.endpoint = None
 
     def wait_ready(self, deadline: float) -> Endpoint:
         """Block (bounded) for the agent's ``READY host port`` line."""
@@ -303,6 +327,19 @@ class TcpDeployment:
         dead peer (RemoteError fail-fast + replica fail-over)."""
         self.agents[index].kill()
 
+    def restart_agent(self, index: int, timeout: float = LAUNCH_TIMEOUT) -> None:
+        """Relaunch a killed agent on its original endpoint and wait for
+        READY. Peers redial automatically; with a ``state_dir`` the new
+        incarnation replays its journal first, so a vm/pm restarted this
+        way resumes exactly where the kill interrupted it. Callers that
+        need the reconnect to have happened should follow with
+        ``deployment.driver.peer(address).wait_connected()``."""
+        agent = self.agents[index]
+        old = agent.endpoint
+        agent.respawn()
+        got = agent.wait_ready(time.monotonic() + timeout)
+        assert got == old, f"agent restarted on {got}, expected {old}"
+
     def agent_index_for(self, address) -> int:
         """Which launched agent hosts an actor (colocation-aware)."""
         name = format_actor(address)
@@ -385,6 +422,7 @@ def build_tcp(
     host: str = "127.0.0.1",
     connect_timeout: float = 5.0,
     control_plane: str | None = None,
+    state_dir: str | os.PathLike | None = None,
 ) -> TcpDeployment:
     """Assemble a TCP cluster deployment (context-manage it to stop it).
 
@@ -398,12 +436,25 @@ def build_tcp(
     way the builder blocks until every peer holds a live connection and
     the pm knows every data provider, so a returned deployment is
     serving and allocatable.
+
+    ``state_dir`` makes the control plane durable: the vm journals under
+    ``<state_dir>/vm`` and the pm under ``<state_dir>/pm`` (launched
+    agents are started with ``--state-dir``; an in-parent control plane
+    journals directly). Killing a control agent and calling
+    :meth:`TcpDeployment.restart_agent` then resumes the same version
+    history. In connected mode the operator owns the agents' state dirs,
+    so passing one here is a :class:`~repro.errors.ConfigError`.
     """
     spec = spec or DeploymentSpec()
     endpoints = endpoints if endpoints is not None else (spec.endpoints or None)
     if control_plane not in (None, "parent", "agents"):
         raise ConfigError(
             f"control_plane must be 'parent' or 'agents', got {control_plane!r}"
+        )
+    if state_dir is not None and endpoints is not None:
+        raise ConfigError(
+            "state_dir applies to launched clusters; operator-run agents "
+            "(endpoints=...) configure --state-dir on their own command lines"
         )
 
     agents: list[_AgentProcess] = []
@@ -419,12 +470,17 @@ def build_tcp(
             if remote_cp:
                 # control plane first: storage agents need the pm's
                 # endpoint on their command line to self-register
-                agents.append(_AgentProcess(["vm"], host, False))
+                vm_args: list[str] = []
                 pm_args = ["--strategy", spec.strategy,
                            "--replication", str(spec.replication)]
                 if spec.strategy_kwargs:
                     pm_args += ["--strategy-kwargs",
                                 json.dumps(spec.strategy_kwargs)]
+                if state_dir is not None:
+                    # one subdirectory (and one agent lock) per agent
+                    vm_args += ["--state-dir", str(Path(state_dir) / "vm")]
+                    pm_args += ["--state-dir", str(Path(state_dir) / "pm")]
+                agents.append(_AgentProcess(["vm"], host, False, vm_args))
                 agents.append(_AgentProcess(["pm"], host, False, pm_args))
                 cluster_map.add("vm", agents[0].wait_ready(deadline))
                 pm_endpoint = agents[1].wait_ready(deadline)
@@ -482,10 +538,17 @@ def build_tcp(
                     ProviderManagerProxy(driver)
                 )
             else:
-                vm = VersionManager()
+                vm_journal = pm_journal = None
+                if state_dir is not None:
+                    from repro.core.journal import Journal
+
+                    vm_journal = Journal(Path(state_dir) / "vm")
+                    pm_journal = Journal(Path(state_dir) / "pm")
+                vm = VersionManager(journal=vm_journal)
                 pm = ProviderManager(
                     make_strategy(spec.strategy, **spec.strategy_kwargs),
                     replication=spec.replication,
+                    journal=pm_journal,
                 )
                 for i in range(spec.n_data):
                     pm.register(i)

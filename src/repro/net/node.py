@@ -170,6 +170,9 @@ def build_actor(
     strategy: str = "round_robin",
     strategy_kwargs: Mapping | None = None,
     replication: int = 1,
+    state_dir: str | None = None,
+    fsync: str = "never",
+    snapshot_every: int | None = 1024,
 ) -> tuple[Address, Actor]:
     """Construct the actor a CLI ``--actor`` spec names.
 
@@ -181,8 +184,29 @@ def build_actor(
     start (``pm_endpoint``), and :func:`repro.deploy.tcp.build_tcp`
     additionally replays registration over the wire in connected mode,
     so the pm always learns the whole cluster before the first write.
+
+    ``state_dir`` makes a vm or pm **durable**: its state lives in a
+    :class:`~repro.core.journal.Journal` under ``<state_dir>/<actor>``
+    and a rebuilt actor pointed at the same directory resumes its
+    incarnation (replaying the log and, for the vm, rolling back
+    unpublished assignments). Storage actors ignore it — their
+    durability tier is :class:`~repro.core.persistence.DiskSpill`.
     """
     address = parse_actor(name)
+
+    def journal_for(actor_name: str):
+        if state_dir is None:
+            return None
+        from pathlib import Path
+
+        from repro.core.journal import Journal
+
+        return Journal(
+            Path(state_dir) / actor_name,
+            fsync=fsync,
+            snapshot_every=snapshot_every,
+        )
+
     if isinstance(address, tuple):
         kind, index = address
         if kind == "data":
@@ -196,7 +220,7 @@ def build_actor(
     elif address == "vm":
         from repro.version.manager import VersionManager
 
-        return address, VersionManager()
+        return address, VersionManager(journal=journal_for("vm"))
     elif address == "pm":
         from repro.providers.manager import ProviderManager
         from repro.providers.strategies import make_strategy
@@ -204,6 +228,7 @@ def build_actor(
         return address, ProviderManager(
             make_strategy(strategy, **dict(strategy_kwargs or {})),
             replication=replication,
+            journal=journal_for("pm"),
         )
     raise ConfigError(
         f"cannot build actor {name!r}: expected data/N, meta/N, vm or pm"
@@ -248,6 +273,13 @@ class _ActorService:
                     },
                 )
             elif kind == CTL_SHUTDOWN:
+                # Clean shutdown path: give durable actors their compaction
+                # point BEFORE acking (NodeAgent.close() deliberately does
+                # not — it models agent *loss*, and recovery must work from
+                # the raw log alone).
+                close = getattr(self.actor, "close", None)
+                if callable(close):
+                    close()
                 self._reply(conn, encode_message(req_id, True))
                 self.stopped = True
                 self.agent._actor_done(self.name)

@@ -14,14 +14,30 @@ RPC surface:
   groups, ``npages`` entries of ``replication`` ids each
 - ``pm.providers()`` -> sorted live provider ids
 - ``pm.report_usage(provider_id, bytes)`` -> ack (keeps load view honest)
+
+Durability (PR 6): with a :class:`~repro.core.journal.Journal` attached,
+membership and allocation follow the same WAL discipline as the version
+manager. Allocation records log only the *inputs* (blob, page count,
+pagesize, and the live-provider list the strategy saw); replay re-drives
+the strategy, which reproduces the exact placement **and** the strategy's
+internal state (round-robin cursor, rng stream) for the next incarnation.
+The strategy object itself is pickled into snapshots, and a ``config``
+record pins strategy/replication so a restart with different settings
+fails loudly (:class:`~repro.errors.ConfigError`) instead of silently
+desynchronizing placement. Failure-detector state is deliberately *not*
+journaled — health is a property of the running incarnation, so recovered
+providers re-enter the tracker fresh.
 """
 
 from __future__ import annotations
 
+import logging
 from typing import Any
 
-from repro.errors import NotEnoughProviders
+from repro.errors import ConfigError, NotEnoughProviders
 from repro.providers.strategies import AllocationStrategy, RoundRobin
+
+logger = logging.getLogger("repro.pm")
 
 
 class ProviderManager:
@@ -32,6 +48,7 @@ class ProviderManager:
         strategy: AllocationStrategy | None = None,
         replication: int = 1,
         health=None,
+        journal=None,
     ) -> None:
         if replication < 1:
             raise ValueError(f"replication must be >= 1, got {replication}")
@@ -41,21 +58,118 @@ class ProviderManager:
         self._providers: set[int] = set()
         self._load: dict[int, int] = {}  # allocated bytes per provider
         self.allocations = 0
+        self.journal = journal
+        self.replayed_records = 0
+        if journal is not None:
+            self._recover()
+
+    # -- durability -----------------------------------------------------
+
+    def _config_tuple(self) -> tuple:
+        return (
+            self.strategy.name or type(self.strategy).__name__,
+            self.strategy.params(),
+            self.replication,
+        )
+
+    def _snapshot_state(self) -> dict[str, Any]:
+        return {
+            "providers": self._providers,
+            "load": self._load,
+            "allocations": self.allocations,
+            "strategy": self.strategy,
+            "config": self._config_tuple(),
+        }
+
+    def _restore(self, state: dict[str, Any]) -> None:
+        self._check_config(state["config"], "snapshot")
+        self._providers = state["providers"]
+        self._load = state["load"]
+        self.allocations = state["allocations"]
+        self.strategy = state["strategy"]
+
+    def _check_config(self, recorded: tuple, origin: str) -> None:
+        if tuple(recorded) != self._config_tuple():
+            raise ConfigError(
+                f"pm state dir was written with settings {tuple(recorded)!r} "
+                f"but this agent was started with {self._config_tuple()!r} "
+                f"({origin}); placement would desynchronize — refusing"
+            )
+
+    def _recover(self) -> None:
+        state, records = self.journal.open()
+        if state is not None:
+            self._restore(state)
+        for record in records:
+            if record[0] == "config":
+                self._check_config(record[1], "log")
+            else:
+                self._apply(record)
+        self.replayed_records = len(records)
+        if state is None and not records:
+            # fresh state dir: pin the settings before anything else
+            self.journal.append(("config", self._config_tuple()))
+        if self.health is not None:
+            for pid in self._providers:
+                self.health.register(pid)
+        logger.info(
+            "pm recovery: %d provider(s), %d log record(s) replayed",
+            len(self._providers), len(records),
+        )
+        self.journal.compact(self._snapshot_state())
+
+    def _log_and_apply(self, record: tuple) -> Any:
+        """WAL discipline: append first, apply second, reply third."""
+        if self.journal is not None:
+            self.journal.append(record)
+        result = self._apply(record)
+        if self.journal is not None and self.journal.should_compact():
+            self.journal.compact(self._snapshot_state())
+        return result
+
+    def _apply(self, record: tuple) -> Any:
+        op = record[0]
+        if op == "register":
+            return self._apply_register(*record[1:])
+        if op == "deregister":
+            return self._apply_deregister(*record[1:])
+        if op == "alloc":
+            return self._apply_alloc(*record[1:])
+        if op == "usage":
+            return self._apply_usage(*record[1:])
+        raise ValueError(f"provider manager: unknown journal record {op!r}")
+
+    def close(self) -> None:
+        """Clean shutdown: compact so the next incarnation replays nothing."""
+        if self.journal is not None:
+            from repro.core.journal import JournalError
+
+            try:
+                self.journal.compact(self._snapshot_state())
+            except JournalError:
+                pass  # a crashed (fault-injected) journal stays as-is
+            self.journal.close()
 
     # -- membership -----------------------------------------------------
 
     def register(self, provider_id: int) -> int:
-        self._providers.add(provider_id)
-        self._load.setdefault(provider_id, 0)
         if self.health is not None:
             self.health.register(provider_id)
+        return self._log_and_apply(("register", provider_id))
+
+    def _apply_register(self, provider_id: int) -> int:
+        self._providers.add(provider_id)
+        self._load.setdefault(provider_id, 0)
         return len(self._providers)
 
     def deregister(self, provider_id: int) -> int:
-        self._providers.discard(provider_id)
-        self._load.pop(provider_id, None)
         if self.health is not None:
             self.health.deregister(provider_id)
+        return self._log_and_apply(("deregister", provider_id))
+
+    def _apply_deregister(self, provider_id: int) -> int:
+        self._providers.discard(provider_id)
+        self._load.pop(provider_id, None)
         return len(self._providers)
 
     def heartbeat(self, provider_id: int, now: float | None = None) -> str:
@@ -73,14 +187,17 @@ class ProviderManager:
         return self.health.heartbeat(provider_id).value
 
     def tick(self, now: float) -> list[tuple[int, str]]:
-        """Advance the failure detector; evicts DEAD providers."""
+        """Advance the failure detector; evicts DEAD providers.
+
+        Evictions are journaled as deregistrations — a pm restart must
+        not resurrect a provider the detector already declared dead.
+        """
         if self.health is None:
             return []
         transitions = self.health.advance(now)
         for pid, state in transitions:
-            if state.value == "dead":
-                self._providers.discard(pid)
-                self._load.pop(pid, None)
+            if state.value == "dead" and pid in self._providers:
+                self._log_and_apply(("deregister", pid))
         return [(pid, state.value) for pid, state in transitions]
 
     def providers(self) -> list[int]:
@@ -106,6 +223,14 @@ class ProviderManager:
             raise NotEnoughProviders(
                 f"need {self.replication} providers, have {len(live)}"
             )
+        return self._log_and_apply(
+            ("alloc", blob_id, npages, pagesize, tuple(live))
+        )
+
+    def _apply_alloc(
+        self, blob_id: str, npages: int, pagesize: int, live: tuple[int, ...]
+    ) -> list[tuple[int, ...]]:
+        live = list(live)
         groups: list[tuple[int, ...]] = []
         for _ in range(npages):
             primary = self.strategy.allocate(1, live, self._load)[0]
@@ -125,7 +250,12 @@ class ProviderManager:
     def report_usage(self, provider_id: int, nbytes: int) -> bool:
         """Correct the load view (e.g. after garbage collection freed pages)."""
         if provider_id in self._providers:
-            self._load[provider_id] = max(0, int(nbytes))
+            return self._log_and_apply(("usage", provider_id, int(nbytes)))
+        return True
+
+    def _apply_usage(self, provider_id: int, nbytes: int) -> bool:
+        if provider_id in self._providers:
+            self._load[provider_id] = max(0, nbytes)
         return True
 
     def load_view(self) -> dict[int, int]:

@@ -35,10 +35,20 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["0:2", "4:2", "0:1"],
         metavar="PAGE:COUNT",
-        help="write script: each entry patches COUNT pages at PAGE",
+        help="write script: each entry patches COUNT pages at PAGE; "
+        "a '!' suffix (e.g. 2:1!) simulates a writer that crashes after "
+        "its version was assigned but before completing — the stuck "
+        "assignment that blocks later versions from publishing",
     )
     parser.add_argument("--diff", type=int, nargs=2, metavar=("V1", "V2"),
                         default=None, help="show changed ranges between versions")
+    parser.add_argument(
+        "--stuck-writes",
+        action="store_true",
+        help="show the version manager's in-flight assignments with their "
+        "age (completions elsewhere since assignment) — the operator view "
+        "for diagnosing a wedged publish chain (see docs/OPERATIONS.md)",
+    )
     return parser
 
 
@@ -56,12 +66,23 @@ def main(argv: list[str] | None = None) -> int:
     inspector = TreeInspector(client)
 
     for step, entry in enumerate(args.writes, start=1):
-        page_str, count_str = entry.split(":")
+        crashed = entry.endswith("!")
+        page_str, count_str = entry.rstrip("!").split(":")
         page, count = int(page_str), int(count_str)
+        if crashed:
+            # a writer that dies between assign and complete: its version
+            # stays in flight and every later version waits on it
+            ticket = dep.vm.assign(blob, page * pagesize, count * pagesize)
+            print(f"write #{step}: pages [{page}, {page + count}) -> "
+                  f"version {ticket.version} assigned, writer crashed "
+                  f"(never completes)")
+            continue
         data = bytes([step % 251 + 1]) * (count * pagesize)
         res = client.write(blob, data, page * pagesize)
+        published = "" if res.published else " [unpublished: blocked]"
         print(f"write #{step}: pages [{page}, {page + count}) -> "
-              f"version {res.version} ({res.nodes_written} new nodes)")
+              f"version {res.version} ({res.nodes_written} new nodes)"
+              f"{published}")
 
     latest = client.latest(blob)
     print()
@@ -74,6 +95,18 @@ def main(argv: list[str] | None = None) -> int:
     print("version manager patch catalog:")
     for version, offset, size in dep.vm.patches(blob):
         print(f"  v{version}: [{offset}, +{size})")
+
+    if args.stuck_writes:
+        print("\nstuck writes (assigned, never completed):")
+        rows = dep.vm.stuck_writes(blob)
+        for version, offset, size, age in rows:
+            print(f"  v{version}: patch [{offset}, +{size}), "
+                  f"age {age} completion(s)")
+        if not rows:
+            print("  (none)")
+        else:
+            print("  -> later versions cannot publish past the gap; see "
+                  "'Stuck writes' in docs/OPERATIONS.md")
 
     if args.diff:
         v1, v2 = args.diff

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 
 from repro.errors import ConfigError
@@ -102,6 +103,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="copies of each page a hosted pm allocates (default: 1, "
         "the paper's setting)",
     )
+    parser.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="durable state directory for hosted vm/pm actors (created "
+        "if missing, locked against concurrent agents); restarting the "
+        "agent on the same directory resumes its incarnation",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("never", "always"),
+        default="never",
+        help="fsync policy for --state-dir journals: 'never' flushes "
+        "to the OS only (survives agent kill), 'always' fsyncs every "
+        "record (survives power loss; default: never)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="compact the journal into a snapshot every N records "
+        "(0 disables compaction; default: 1024)",
+    )
     return parser
 
 
@@ -110,7 +135,34 @@ def main(argv: list[str] | None = None) -> int:
     if not args.actors:
         print("error: at least one --actor is required", file=sys.stderr)
         return 2
+    # Surface the repro loggers on stderr: recovery summaries (INFO on
+    # repro.vm / repro.pm) and torn-tail truncations (WARNING on
+    # repro.journal) are operator signals — without a handler Python
+    # drops everything below WARNING. stdout stays reserved for READY.
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
+    lock = None
     try:
+        if args.state_dir is not None:
+            # Validate and lock the state dir up front — BEFORE any
+            # journal opens — so two agents can never interleave log
+            # appends on the same directory.
+            from pathlib import Path
+
+            from repro.core.journal import StateDirLock
+
+            state_path = Path(args.state_dir)
+            try:
+                state_path.mkdir(parents=True, exist_ok=True)
+            except (OSError, NotADirectoryError) as exc:
+                raise ConfigError(
+                    f"--state-dir {args.state_dir}: not a usable directory "
+                    f"({exc})"
+                ) from None
+            lock = StateDirLock(state_path).acquire()
         strategy_kwargs = json.loads(args.strategy_kwargs)
         if not isinstance(strategy_kwargs, dict):
             raise ConfigError(
@@ -123,6 +175,9 @@ def main(argv: list[str] | None = None) -> int:
                 strategy=args.strategy,
                 strategy_kwargs=strategy_kwargs,
                 replication=args.replication,
+                state_dir=args.state_dir,
+                fsync=args.fsync,
+                snapshot_every=args.snapshot_every or None,
             )
             for name in args.actors
         )
@@ -135,9 +190,15 @@ def main(argv: list[str] | None = None) -> int:
         # TypeError covers --strategy-kwargs that do not fit the chosen
         # strategy's constructor (e.g. '{"k": 2}' with round_robin)
         print(f"error: {exc}", file=sys.stderr)
+        if lock is not None:
+            lock.release()
         return 2
-    print(f"READY {agent.endpoint.host} {agent.endpoint.port}", flush=True)
-    agent.serve_forever()
+    try:
+        print(f"READY {agent.endpoint.host} {agent.endpoint.port}", flush=True)
+        agent.serve_forever()
+    finally:
+        if lock is not None:
+            lock.release()
     return 0
 
 

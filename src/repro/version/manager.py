@@ -21,10 +21,21 @@ Extension beyond the paper (documented in DESIGN.md): ``abandon`` lets the
 most recent writer back out (e.g. client crash before publishing) by
 rolling the assignment back, preserving liveness for later writers. The
 general failed-writer recovery problem is future work in the paper as well.
+
+Durability (PR 6): construct with a :class:`~repro.core.journal.Journal`
+and every mutation follows the WAL discipline — validate, **append the
+record, then apply it** — so the reply a client sees is always backed by
+the log. Recovery replays the log into ``_BlobState`` and then *resolves*
+the interrupted tail: every version newer than ``latest_published``
+(in-flight or completed-but-unpublished) is rolled back top-down, so the
+publish order stays total and the next writer starts from a clean chain.
+Rollback needs the patch undo, which is why ``complete`` only forgets an
+undo as its version actually *publishes*.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -32,6 +43,8 @@ from repro.errors import BlobNotFound, StaleWrite, VersionNotPublished
 from repro.metadata.tree import TreeGeometry
 from repro.util.intervals import Interval
 from repro.version.history import PatchHistory
+
+logger = logging.getLogger("repro.vm")
 
 #: Sentinel clients pass to READ for "the latest published version".
 LATEST = -1
@@ -59,22 +72,102 @@ class _BlobState:
     latest_published: int = 0
     in_flight: dict[int, Interval] = field(default_factory=dict)
     completed: set[int] = field(default_factory=set)
+    #: completions-counter reading at assign time, per unpublished version
+    #: (the clock for the ``stuck_writes`` age column)
+    assigned_at: dict[int, int] = field(default_factory=dict)
 
 
 class VersionManager:
     """Centralized version authority (one per deployment)."""
 
-    def __init__(self) -> None:
+    def __init__(self, journal=None) -> None:
         self._blobs: dict[str, _BlobState] = {}
         self._alloc_counter = 0
         self.assigns = 0
         self.completions = 0
+        self.journal = journal
+        self.replayed_records = 0
+        self.rolled_back = 0
+        if journal is not None:
+            self._recover()
+
+    # -- durability ---------------------------------------------------------
+
+    def _snapshot_state(self) -> dict[str, Any]:
+        return {
+            "blobs": self._blobs,
+            "alloc_counter": self._alloc_counter,
+            "assigns": self.assigns,
+            "completions": self.completions,
+        }
+
+    def _restore(self, state: dict[str, Any]) -> None:
+        self._blobs = state["blobs"]
+        self._alloc_counter = state["alloc_counter"]
+        self.assigns = state["assigns"]
+        self.completions = state["completions"]
+
+    def _recover(self) -> None:
+        """Replay snapshot + log, then roll back the unpublished tail."""
+        state, records = self.journal.open()
+        if state is not None:
+            self._restore(state)
+        for record in records:
+            self._apply(record)
+        self.replayed_records = len(records)
+        self.rolled_back = self._apply(("resolve",))
+        logger.info(
+            "vm recovery: %d blob(s), %d log record(s) replayed, "
+            "%d unpublished assignment(s) rolled back",
+            len(self._blobs), len(records), self.rolled_back,
+        )
+        # Start the new incarnation from a clean snapshot: makes the
+        # resolve above durable and drops the replayed log.
+        self.journal.compact(self._snapshot_state())
+
+    def _log_and_apply(self, record: tuple) -> Any:
+        """WAL discipline: append first, apply second, reply third."""
+        if self.journal is not None:
+            self.journal.append(record)
+        result = self._apply(record)
+        if self.journal is not None and self.journal.should_compact():
+            self.journal.compact(self._snapshot_state())
+        return result
+
+    def _apply(self, record: tuple) -> Any:
+        op = record[0]
+        if op == "alloc":
+            return self._apply_alloc(*record[1:])
+        if op == "assign":
+            return self._apply_assign(*record[1:])
+        if op == "complete":
+            return self._apply_complete(*record[1:])
+        if op == "abandon":
+            return self._apply_abandon(*record[1:])
+        if op == "resolve":
+            return self._apply_resolve()
+        raise ValueError(f"version manager: unknown journal record {op!r}")
+
+    def close(self) -> None:
+        """Clean shutdown: compact so the next incarnation replays nothing."""
+        if self.journal is not None:
+            from repro.core.journal import JournalError
+
+            try:
+                self.journal.compact(self._snapshot_state())
+            except JournalError:
+                pass  # a crashed (fault-injected) journal stays as-is
+            self.journal.close()
 
     # -- blob lifecycle -----------------------------------------------------
 
     def alloc(self, total_size: int, pagesize: int) -> str:
         """Create a blob; returns its globally unique id (paper's ALLOC)."""
-        geom = TreeGeometry(total_size, pagesize)  # validates geometry
+        TreeGeometry(total_size, pagesize)  # validates geometry before logging
+        return self._log_and_apply(("alloc", total_size, pagesize))
+
+    def _apply_alloc(self, total_size: int, pagesize: int) -> str:
+        geom = TreeGeometry(total_size, pagesize)
         self._alloc_counter += 1
         blob_id = f"blob-{self._alloc_counter:06d}"
         self._blobs[blob_id] = _BlobState(
@@ -95,12 +188,18 @@ class VersionManager:
     def assign(self, blob_id: str, offset: int, size: int) -> WriteTicket:
         """Serialize this WRITE: next version number + border references."""
         st = self._state(blob_id)
+        st.geom.check_aligned(offset, size)  # validate before logging
+        return self._log_and_apply(("assign", blob_id, offset, size))
+
+    def _apply_assign(self, blob_id: str, offset: int, size: int) -> WriteTicket:
+        st = self._state(blob_id)
         patch = st.geom.check_aligned(offset, size)
         refs = st.history.border_refs(patch)
         version = st.next_version
         st.next_version += 1
         st.history.record(version, patch)
         st.in_flight[version] = patch
+        st.assigned_at[version] = self.completions
         self.assigns += 1
         return WriteTicket(
             blob_id=blob_id,
@@ -117,14 +216,21 @@ class VersionManager:
             raise StaleWrite(
                 f"blob {blob_id}: completion for unknown version {version}"
             )
+        return self._log_and_apply(("complete", blob_id, version))
+
+    def _apply_complete(self, blob_id: str, version: int) -> int:
+        st = self._state(blob_id)
         del st.in_flight[version]
         st.completed.add(version)
-        st.history.forget_undo(version)
         # Publish every consecutive completed version (liveness: a write
         # publishes as soon as all of its predecessors have completed).
+        # The undo survives until the version *publishes* — recovery rolls
+        # back completed-but-unpublished versions too.
         while (st.latest_published + 1) in st.completed:
             st.latest_published += 1
             st.completed.discard(st.latest_published)
+            st.history.forget_undo(st.latest_published)
+            st.assigned_at.pop(st.latest_published, None)
         self.completions += 1
         return st.latest_published
 
@@ -140,10 +246,39 @@ class VersionManager:
                 f"blob {blob_id}: only the most recently assigned version "
                 f"({st.next_version - 1}) can be abandoned, not {version}"
             )
+        return self._log_and_apply(("abandon", blob_id, version))
+
+    def _apply_abandon(self, blob_id: str, version: int) -> int:
+        st = self._state(blob_id)
         st.history.rollback_last(version)
         del st.in_flight[version]
+        st.assigned_at.pop(version, None)
         st.next_version -= 1
         return st.next_version
+
+    def rollback_unpublished(self) -> int:
+        """Roll back every unpublished assignment, across all blobs.
+
+        This is the recovery resolution step, also callable live (it is
+        journaled): after it, ``next_version == latest_published + 1``
+        for every blob and no write is in flight. Returns the number of
+        assignments rolled back.
+        """
+        return self._log_and_apply(("resolve",))
+
+    def _apply_resolve(self) -> int:
+        rolled = 0
+        for st in self._blobs.values():
+            # Top-down: rollback_last only accepts the newest recorded
+            # version, so unwind from the tail toward latest_published.
+            for version in range(st.next_version - 1, st.latest_published, -1):
+                st.history.rollback_last(version)
+                st.in_flight.pop(version, None)
+                st.completed.discard(version)
+                st.assigned_at.pop(version, None)
+                rolled += 1
+            st.next_version = st.latest_published + 1
+        return rolled
 
     # -- read path ----------------------------------------------------------
 
@@ -167,6 +302,23 @@ class VersionManager:
 
     def in_flight_versions(self, blob_id: str) -> list[int]:
         return sorted(self._state(blob_id).in_flight)
+
+    def stuck_writes(self, blob_id: str) -> list[tuple[int, int, int, int]]:
+        """In-flight assignments with their age: ``(version, offset, size,
+        age)`` where *age* counts completions (anywhere) since the version
+        was assigned — a write that stays in flight while the completion
+        clock advances is blocking the publish chain (see OPERATIONS.md).
+        """
+        st = self._state(blob_id)
+        return [
+            (
+                version,
+                patch.offset,
+                patch.size,
+                self.completions - st.assigned_at.get(version, self.completions),
+            )
+            for version, patch in sorted(st.in_flight.items())
+        ]
 
     def patches(self, blob_id: str) -> list[tuple[int, int, int]]:
         """Recorded patch catalog: ``(version, offset, size)`` per write
@@ -206,6 +358,8 @@ class VersionManager:
             return self.abandon(*args)
         if method == "vm.in_flight":
             return self.in_flight_versions(*args)
+        if method == "vm.stuck_writes":
+            return self.stuck_writes(*args)
         if method == "vm.patches":
             return self.patches(*args)
         raise ValueError(f"version manager: unknown method {method!r}")

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import random
 
+import pytest
+
 from repro.core.config import DeploymentSpec
 from repro.core.protocol import (
     alloc_protocol,
@@ -580,3 +582,160 @@ def test_transport_batching_equivalent_sub_calls():
     finally:
         for h in harnesses:
             h.close()
+
+
+# ---------------------------------------------------------------------------
+# seventh configuration: durable control plane, kill + restart + replay
+# ---------------------------------------------------------------------------
+
+N_DURABLE_STEPS = 10
+KILL_AFTER_STEP = 5  # phase 1 = steps [0, 5), phase 2 = steps [5, 10)
+
+
+def durable_step_program(blob_id, router, states, step):
+    """One step of the durable workload: a seeded write plus snapshot reads.
+
+    Unlike :func:`serial_program`, each step carries its *own* rng (seeded
+    from the step number), so the workload can be split across a control
+    plane kill+restart and still be byte-for-byte the workload an
+    uninterrupted run executes. ``states`` is the caller-held replay model
+    (reference bytes per version), appended to in place. Returns a list of
+    mismatch descriptions (empty = step verified)."""
+    rng = random.Random(SEED ^ (0xD00B + step * 7919))
+    errors = []
+    npages = rng.choice((1, 1, 2, 4))
+    offset = rng.randrange(0, NPAGES - npages + 1) * PAGE
+    data = rng.randbytes(npages * PAGE)
+
+    res = yield from write_protocol(
+        blob_id, GEOM, offset, split_pages(data, PAGE), router,
+        f"durable-{step}",
+    )
+    if res.version != len(states):
+        errors.append(
+            f"step {step}: expected version {len(states)}, got {res.version}"
+        )
+    state = bytearray(states[-1])
+    state[offset : offset + len(data)] = data
+    states.append(bytes(state))
+
+    # read-your-writes on the just-published version
+    snap = yield from read_protocol(
+        blob_id, GEOM, 0, TOTAL, router, version=res.version
+    )
+    if snap.data != states[res.version]:
+        errors.append(f"step {step}: snapshot v{res.version} mismatch")
+
+    # a historical snapshot — after a restart this reads *recovered*
+    # version history, the whole point of the configuration
+    v = rng.randrange(0, len(states))
+    sz = rng.randrange(1, TOTAL)
+    off = rng.randrange(0, TOTAL - sz)
+    part = yield from read_protocol(blob_id, GEOM, off, sz, router, version=v)
+    if part.data != states[v][off : off + sz]:
+        errors.append(f"step {step}: partial read of v{v} mismatch")
+    return errors
+
+
+def _durable_fingerprint(dep, blob_id):
+    return {
+        "patches": dep.vm.patches(blob_id),
+        "latest": dep.vm.get_latest(blob_id),
+        "pages": page_placements(dep, blob_id),
+        "nodes": node_records(dep, blob_id),
+    }
+
+
+def _storage_stats(dep):
+    """Workload wire counters of the *storage* actors only (setup base
+    subtracted). Control-actor counters reset when an agent restarts, so
+    they cannot be compared across an interrupted and an uninterrupted
+    run — storage counters can, and killing the control plane must not
+    leak so much as one stray RPC to a storage node."""
+    base = dep.stats_base
+    return {
+        a: (r - base.get(a, (0, 0))[0], c - base.get(a, (0, 0))[1])
+        for a, (r, c) in dep.driver.server_stats().items()
+        if isinstance(a, tuple)  # ("data", i) / ("meta", i), not "vm"/"pm"
+    }
+
+
+def test_kill_restart_replay_matches_uninterrupted_run(tmp_path):
+    """The seventh certified configuration: the fully-remote TCP cluster
+    with a durable control plane (``state_dir``), its vm and pm agents
+    SIGKILLed mid-workload and restarted on their state dirs. The final
+    pages (content *and* placement), metadata node records and version
+    chains must be bit-identical to the uninterrupted tcp-remote run,
+    with the outage visible to clients only as fast typed failures."""
+    from repro.errors import RemoteError
+
+    steps = list(range(N_DURABLE_STEPS))
+
+    # reference: plain tcp-remote, uninterrupted, no state dir
+    ref_h = TcpRemoteHarness()
+    try:
+        ref_blob = ref_h.run(alloc_protocol(TOTAL, PAGE))
+        ref_states = [bytes(TOTAL)]
+        for step in steps:
+            errs = ref_h.run(
+                durable_step_program(ref_blob, ref_h.dep.router, ref_states, step)
+            )
+            assert errs == [], errs
+        ref = _durable_fingerprint(ref_h.dep, ref_blob)
+        ref_storage = _storage_stats(ref_h.dep)
+    finally:
+        ref_h.close()
+    assert ref["latest"] == N_DURABLE_STEPS
+
+    # durable run: same workload, control plane killed between the phases
+    dep = build_tcp(SPEC, control_plane="agents", state_dir=tmp_path)
+    try:
+        assert dep.in_parent_actors() == []
+        blob_id = dep.driver.run(alloc_protocol(TOTAL, PAGE))
+        assert blob_id == ref_blob
+        states = [bytes(TOTAL)]
+        for step in steps[:KILL_AFTER_STEP]:
+            errs = dep.driver.run(
+                durable_step_program(blob_id, dep.router, states, step)
+            )
+            assert errs == [], errs
+
+        vm_i = dep.agent_index_for("vm")
+        pm_i = dep.agent_index_for("pm")
+        dep.kill_agent(vm_i)
+        dep.kill_agent(pm_i)
+
+        # the outage is fail-fast and typed, and (because a WRITE talks to
+        # the pm before any storage node) leaves zero storage traffic
+        probe = dep.client("outage-probe")
+        with pytest.raises(RemoteError):
+            probe.write(blob_id, bytes(PAGE), 0)
+
+        dep.restart_agent(vm_i)
+        dep.restart_agent(pm_i)
+        dep.driver.peer("vm").wait_connected(timeout=JOIN_TIMEOUT)
+        dep.driver.peer("pm").wait_connected(timeout=JOIN_TIMEOUT)
+
+        # the restarted vm resumed the same incarnation: recovered history
+        # answers before any phase-2 write happens
+        assert dep.vm.get_latest(blob_id) == KILL_AFTER_STEP
+
+        for step in steps[KILL_AFTER_STEP:]:
+            errs = dep.driver.run(
+                durable_step_program(blob_id, dep.router, states, step)
+            )
+            assert errs == [], errs
+
+        assert states == ref_states
+        got = _durable_fingerprint(dep, blob_id)
+        assert got["patches"] == ref["patches"], "version chain differs"
+        assert got["latest"] == ref["latest"]
+        assert got["pages"] == ref["pages"], (
+            "stored pages (content or placement) differ from uninterrupted run"
+        )
+        assert got["nodes"] == ref["nodes"], "metadata tree differs"
+        assert _storage_stats(dep) == ref_storage, (
+            "kill/restart leaked wire traffic to storage nodes"
+        )
+    finally:
+        dep.close()

@@ -1,0 +1,545 @@
+"""Durable control plane: journal framing, crash-point fault injection,
+vm/pm recovery semantics, state-dir locking, and the DiskSpill fsyncs.
+
+The centerpiece is the crash-point sweep: a seeded random vm workload is
+journaled once to learn every record boundary, then re-run with the
+journal's ``fail_after`` hook killing the write at every boundary (clean
+cut) and inside every record (torn tail). Recovery must always land on a
+*valid prefix*: the state an uninterrupted vm reaches after exactly the
+ops whose records fit before the crash point, with every unpublished
+assignment rolled back — never a half-applied record, never a fatal
+error from a torn tail.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.journal import (
+    Journal,
+    JournalCrashed,
+    JournalError,
+    StateDirLock,
+)
+from repro.core.persistence import DiskSpill
+from repro.errors import ConfigError
+from repro.providers.health import HealthTracker
+from repro.providers.manager import ProviderManager
+from repro.providers.page import PageKey, PagePayload
+from repro.providers.strategies import make_strategy
+from repro.tools.node import main as node_main
+from repro.util.sizes import KB
+from repro.version.manager import VersionManager
+
+TOTAL = 32 * KB
+PAGE = 4 * KB
+NPAGES = TOTAL // PAGE
+SEED = 0x1A6B
+
+
+# ---------------------------------------------------------------------------
+# journal framing units
+# ---------------------------------------------------------------------------
+
+
+class TestJournalFraming:
+    def test_append_replay_roundtrip(self, tmp_path):
+        j = Journal(tmp_path)
+        assert j.open() == (None, [])
+        records = [("alloc", 1, 2), ("assign", "b", 0, 4096), ("x", [1, 2])]
+        for r in records:
+            j.append(r)
+        j.close()
+        state, replayed = Journal(tmp_path).open()
+        assert state is None
+        assert replayed == records
+
+    def test_torn_tail_is_truncated_and_logged(self, tmp_path, caplog):
+        j = Journal(tmp_path)
+        j.open()
+        j.append(("keep", 1))
+        j.append(("keep", 2))
+        clean = j.tail_offset
+        j.close()
+        wal = tmp_path / "wal.log"
+        wal.write_bytes(wal.read_bytes() + b"\x99\x00torn-garbage")
+        j2 = Journal(tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.journal"):
+            _, replayed = j2.open()
+        assert replayed == [("keep", 1), ("keep", 2)]
+        assert j2.truncated_bytes == len(b"\x99\x00torn-garbage")
+        assert any("torn tail" in r.message for r in caplog.records)
+        # the truncation is physical: the next open sees a clean log
+        assert wal.stat().st_size == clean
+        j3 = Journal(tmp_path)
+        assert j3.open()[1] == [("keep", 1), ("keep", 2)]
+
+    def test_corrupted_record_body_stops_replay_at_prefix(self, tmp_path):
+        j = Journal(tmp_path)
+        j.open()
+        j.append(("a",))
+        keep = j.tail_offset
+        j.append(("b",))
+        j.close()
+        raw = bytearray((tmp_path / "wal.log").read_bytes())
+        raw[-1] ^= 0xFF  # flip a byte inside the second record's body
+        (tmp_path / "wal.log").write_bytes(raw)
+        _, replayed = Journal(tmp_path).open()
+        assert replayed == [("a",)]
+        assert (tmp_path / "wal.log").stat().st_size == keep
+
+    def test_compact_skips_covered_records(self, tmp_path):
+        j = Journal(tmp_path)
+        j.open()
+        j.append(("old", 1))
+        j.compact({"n": 1})
+        j.append(("new", 2))
+        j.close()
+        state, replayed = Journal(tmp_path).open()
+        assert state == {"n": 1}
+        assert replayed == [("new", 2)]
+
+    def test_crash_between_snapshot_and_truncate_never_double_applies(
+        self, tmp_path
+    ):
+        """The compaction crash window: the snapshot is published but the
+        log still holds the records it covers. Seqnos must dedupe."""
+        j = Journal(tmp_path)
+        j.open()
+        j.append(("r", 1))
+        j.append(("r", 2))
+        wal_with_records = (tmp_path / "wal.log").read_bytes()
+        j.compact({"applied": 2})
+        j.close()
+        # simulate the crash: restore the pre-truncate log next to the
+        # already-published snapshot
+        (tmp_path / "wal.log").write_bytes(wal_with_records)
+        state, replayed = Journal(tmp_path).open()
+        assert state == {"applied": 2}
+        assert replayed == []  # both records are covered by the snapshot
+
+    def test_should_compact_policy(self, tmp_path):
+        j = Journal(tmp_path, snapshot_every=3)
+        j.open()
+        for i in range(2):
+            j.append(("r", i))
+            assert not j.should_compact()
+        j.append(("r", 2))
+        assert j.should_compact()
+        j.compact({})
+        assert not j.should_compact()
+        assert Journal(tmp_path, snapshot_every=None).open() == ({}, [])
+
+    def test_unreadable_snapshot_is_fatal_not_silent(self, tmp_path):
+        j = Journal(tmp_path)
+        j.open()
+        j.compact({"real": True})
+        j.close()
+        (tmp_path / "snapshot.pkl").write_bytes(b"not a pickle")
+        with pytest.raises(JournalError, match="snapshot"):
+            Journal(tmp_path).open()
+
+    def test_bad_config_knobs_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="fsync"):
+            Journal(tmp_path, fsync="sometimes")
+        with pytest.raises(ConfigError, match="snapshot_every"):
+            Journal(tmp_path, snapshot_every=0)
+
+    def test_fsync_always_roundtrip(self, tmp_path):
+        j = Journal(tmp_path, fsync="always")
+        j.open()
+        j.append(("durable", 1))
+        j.compact({"s": 1})
+        j.append(("durable", 2))
+        j.close()
+        assert Journal(tmp_path).open() == ({"s": 1}, [("durable", 2)])
+
+
+class TestFaultInjection:
+    def test_fail_after_tears_exactly_at_the_limit(self, tmp_path):
+        j = Journal(tmp_path, fail_after=27)
+        j.open()
+        with pytest.raises(JournalCrashed):
+            j.append(("record", "x" * 50))
+        # the torn bytes ARE on disk, exactly up to the crash point —
+        # like a real power cut mid-write
+        assert (tmp_path / "wal.log").stat().st_size == 27
+
+    def test_crashed_journal_stays_dead(self, tmp_path):
+        j = Journal(tmp_path, fail_after=1)
+        j.open()
+        with pytest.raises(JournalCrashed):
+            j.append(("r",))
+        with pytest.raises(JournalCrashed):
+            j.append(("r",))
+        with pytest.raises(JournalCrashed):
+            j.compact({})
+
+
+# ---------------------------------------------------------------------------
+# crash-point sweep: recovery is always a valid prefix
+# ---------------------------------------------------------------------------
+
+
+def build_vm_ops(seed: int, n: int = 40) -> list[tuple]:
+    """A seeded random-but-valid vm workload over up to 3 blobs.
+
+    Ops are ``("alloc", total, page)``, ``("assign", blob_idx, offset,
+    size)``, ``("complete", blob_idx, version)`` and ``("abandon",
+    blob_idx, version)`` — validity (version in flight, abandon only the
+    most recent) is guaranteed by shadowing the vm's bookkeeping here, so
+    every op appends exactly one journal record when executed.
+    """
+    rng = random.Random(seed)
+    ops: list[tuple] = []
+    blobs: list[dict] = []  # shadow: {"next": int, "in_flight": set}
+    for _ in range(n):
+        choices = []
+        if len(blobs) < 3:
+            choices.append("alloc")
+        if blobs:
+            choices += ["assign", "assign"]
+        if any(b["in_flight"] for b in blobs):
+            choices += ["complete", "complete", "complete"]
+        if any((b["next"] - 1) in b["in_flight"] for b in blobs):
+            choices.append("abandon")
+        op = rng.choice(choices)
+        if op == "alloc":
+            blobs.append({"next": 1, "in_flight": set()})
+            ops.append(("alloc", TOTAL, PAGE))
+        elif op == "assign":
+            i = rng.randrange(len(blobs))
+            npages = rng.choice((1, 1, 2))
+            offset = rng.randrange(0, NPAGES - npages + 1) * PAGE
+            ops.append(("assign", i, offset, npages * PAGE))
+            blobs[i]["in_flight"].add(blobs[i]["next"])
+            blobs[i]["next"] += 1
+        elif op == "complete":
+            i = rng.choice([k for k, b in enumerate(blobs) if b["in_flight"]])
+            v = rng.choice(sorted(blobs[i]["in_flight"]))
+            ops.append(("complete", i, v))
+            blobs[i]["in_flight"].discard(v)
+        else:  # abandon the most recent assignment of an eligible blob
+            i = rng.choice(
+                [k for k, b in enumerate(blobs)
+                 if (b["next"] - 1) in b["in_flight"]]
+            )
+            v = blobs[i]["next"] - 1
+            ops.append(("abandon", i, v))
+            blobs[i]["in_flight"].discard(v)
+            blobs[i]["next"] -= 1
+    return ops
+
+
+def apply_ops(vm: VersionManager, ops: list[tuple]) -> None:
+    """Execute ops; raises JournalCrashed where the fault injection hits."""
+    blob_ids: list[str] = []
+    for op in ops:
+        if op[0] == "alloc":
+            blob_ids.append(vm.alloc(op[1], op[2]))
+        elif op[0] == "assign":
+            vm.assign(blob_ids[op[1]], op[2], op[3])
+        elif op[0] == "complete":
+            vm.complete(blob_ids[op[1]], op[2])
+        else:
+            vm.abandon(blob_ids[op[1]], op[2])
+
+
+def vm_fingerprint(vm: VersionManager) -> dict:
+    return {
+        "counters": (vm.assigns, vm.completions),
+        "blobs": {
+            b: (vm.stat(b), vm.patches(b), vm.in_flight_versions(b))
+            for b in vm.blob_ids()
+        },
+    }
+
+
+def prefix_reference(ops: list[tuple], k: int) -> dict:
+    """What recovery must produce after the first ``k`` ops: the
+    uninterrupted state machine, with the unpublished tail resolved."""
+    vm = VersionManager()
+    apply_ops(vm, ops[:k])
+    vm.rollback_unpublished()
+    return vm_fingerprint(vm)
+
+
+def test_crash_point_sweep_every_boundary_recovers_a_valid_prefix(tmp_path):
+    ops = build_vm_ops(SEED)
+
+    # pass 1: journal the whole workload once to learn record boundaries
+    learn_dir = tmp_path / "learn"
+    vm = VersionManager(journal=Journal(learn_dir))
+    boundaries = [vm.journal.tail_offset]  # offset 0: crash before any record
+    blob_ids: list[str] = []
+    for op in ops:
+        # inline apply to capture the boundary after each op
+        if op[0] == "alloc":
+            blob_ids.append(vm.alloc(op[1], op[2]))
+        elif op[0] == "assign":
+            vm.assign(blob_ids[op[1]], op[2], op[3])
+        elif op[0] == "complete":
+            vm.complete(blob_ids[op[1]], op[2])
+        else:
+            vm.abandon(blob_ids[op[1]], op[2])
+        boundaries.append(vm.journal.tail_offset)
+    vm.journal.close()
+    assert len(boundaries) == len(ops) + 1
+    assert sorted(set(boundaries)) == boundaries, "ops must append monotonically"
+
+    # pass 2: the sweep — for every boundary, crash exactly on it (clean
+    # cut after op k) and inside the following record (torn record k+1);
+    # recovery must equal the resolved prefix of exactly k ops either way
+    sweep: list[tuple[int, int]] = []
+    for k, at in enumerate(boundaries):
+        sweep.append((k, at))
+        if k < len(ops):
+            width = boundaries[k + 1] - at
+            sweep.append((k, at + 1))            # torn: header cut short
+            sweep.append((k, at + width - 1))    # torn: one byte missing
+    for k, fail_after in sweep:
+        d = tmp_path / f"crash-{k}-{fail_after}"
+        crashed = VersionManager(journal=Journal(d, fail_after=fail_after))
+        try:
+            apply_ops(crashed, ops)
+            # only the final boundary fits the whole workload: that sweep
+            # point is "SIGKILL immediately after the last append"
+            assert k == len(ops), f"fail_after={fail_after} never crashed"
+            crashed.journal.close()
+        except JournalCrashed:
+            pass
+        recovered = VersionManager(journal=Journal(d))
+        expected = prefix_reference(ops, k)
+        got = vm_fingerprint(recovered)
+        assert got == expected, (
+            f"crash at byte {fail_after} (prefix {k}): recovered state is "
+            f"not the resolved prefix"
+        )
+        for b in recovered.blob_ids():
+            assert recovered.in_flight_versions(b) == []
+        recovered.journal.close()
+
+
+def test_recovered_vm_continues_the_workload(tmp_path):
+    """After a mid-workload crash and recovery, the surviving prefix is a
+    fully functional vm: new assignments take the next version numbers
+    and publish in order on the recovered history."""
+    ops = build_vm_ops(SEED, n=25)
+    vm = VersionManager(journal=Journal(tmp_path, fail_after=600))
+    with pytest.raises(JournalCrashed):
+        apply_ops(vm, ops)
+    vm2 = VersionManager(journal=Journal(tmp_path))
+    for b in vm2.blob_ids():
+        latest = vm2.get_latest(b)
+        t = vm2.assign(b, 0, PAGE)
+        assert t.version == latest + 1
+        assert vm2.complete(b, t.version) == t.version
+    vm2.close()
+    # clean shutdown compacted: a third incarnation replays zero records
+    vm3 = VersionManager(journal=Journal(tmp_path))
+    assert vm3.replayed_records == 0
+    assert vm_fingerprint(vm3) == vm_fingerprint(vm2)
+
+
+def test_clean_shutdown_replays_nothing(tmp_path):
+    vm = VersionManager(journal=Journal(tmp_path))
+    b = vm.alloc(TOTAL, PAGE)
+    t = vm.assign(b, 0, PAGE)
+    vm.complete(b, t.version)
+    vm.close()
+    vm2 = VersionManager(journal=Journal(tmp_path))
+    assert vm2.replayed_records == 0 and vm2.rolled_back == 0
+    assert vm2.get_latest(b) == 1
+
+
+def test_runtime_compaction_is_transparent(tmp_path):
+    vm = VersionManager(journal=Journal(tmp_path, snapshot_every=5))
+    b = vm.alloc(TOTAL, PAGE)
+    for _ in range(20):
+        t = vm.assign(b, 0, PAGE)
+        vm.complete(b, t.version)
+    assert vm.journal.records_since_snapshot < 5
+    vm.journal.close()  # unclean: recovery goes through snapshot + tail
+    vm2 = VersionManager(journal=Journal(tmp_path, snapshot_every=5))
+    assert vm_fingerprint(vm2) == vm_fingerprint(vm)
+
+
+# ---------------------------------------------------------------------------
+# provider manager recovery
+# ---------------------------------------------------------------------------
+
+
+class TestProviderManagerRecovery:
+    def make(self, d, strategy="round_robin", **kw):
+        return ProviderManager(
+            make_strategy(strategy, **kw), journal=Journal(d)
+        )
+
+    def test_membership_load_and_cursor_survive(self, tmp_path):
+        pm = self.make(tmp_path)
+        for i in range(5):
+            pm.register(i)
+        pm.deregister(4)
+        first = pm.get_providers("b", 5, PAGE)
+        pm.journal.close()  # crash
+
+        ref = ProviderManager(make_strategy("round_robin"))
+        for i in range(5):
+            ref.register(i)
+        ref.deregister(4)
+        assert ref.get_providers("b", 5, PAGE) == first
+
+        pm2 = self.make(tmp_path)
+        assert pm2.providers() == [0, 1, 2, 3]
+        assert pm2.load_view() == ref.load_view()
+        # the round-robin cursor resumed: placement continues where the
+        # dead incarnation stopped, not from provider 0
+        assert pm2.get_providers("b", 3, PAGE) == ref.get_providers("b", 3, PAGE)
+
+    def test_rng_strategy_stream_survives(self, tmp_path):
+        pm = self.make(tmp_path, "random_k", k=2, seed=11)
+        for i in range(6):
+            pm.register(i)
+        a = pm.get_providers("b", 4, PAGE)
+        pm.journal.close()
+        pm2 = self.make(tmp_path, "random_k", k=2, seed=11)
+        b = pm2.get_providers("b", 4, PAGE)
+        ref = ProviderManager(make_strategy("random_k", k=2, seed=11))
+        for i in range(6):
+            ref.register(i)
+        assert a == ref.get_providers("b", 4, PAGE)
+        assert b == ref.get_providers("b", 4, PAGE)
+
+    def test_settings_mismatch_refuses_loudly(self, tmp_path):
+        pm = self.make(tmp_path)
+        pm.register(0)
+        pm.journal.close()
+        with pytest.raises(ConfigError, match="refusing"):
+            ProviderManager(
+                make_strategy("round_robin"),
+                replication=2,
+                journal=Journal(tmp_path),
+            )
+
+    def test_health_evictions_survive_a_restart(self, tmp_path):
+        pm = ProviderManager(
+            make_strategy("round_robin"),
+            health=HealthTracker(suspect_after=5.0, evict_after=10.0),
+            journal=Journal(tmp_path),
+        )
+        for i in range(3):
+            pm.register(i)
+        pm.heartbeat(0, now=8.0)
+        pm.heartbeat(1, now=8.0)
+        pm.tick(11.0)  # provider 2 never beat: DEAD, journaled as deregister
+        assert pm.providers() == [0, 1]
+        pm.journal.close()  # crash
+        pm2 = ProviderManager(
+            make_strategy("round_robin"),
+            health=HealthTracker(suspect_after=5.0, evict_after=10.0),
+            journal=Journal(tmp_path),
+        )
+        assert pm2.providers() == [0, 1], "a dead provider was resurrected"
+        # recovered members are re-registered with the fresh detector
+        assert set(pm2.health.allocatable()) == {0, 1}
+
+
+# ---------------------------------------------------------------------------
+# state-dir locking and the CLI
+# ---------------------------------------------------------------------------
+
+
+class TestStateDirLock:
+    def test_exclusive_within_and_across_acquires(self, tmp_path):
+        lock = StateDirLock(tmp_path).acquire()
+        assert lock.held
+        with pytest.raises(ConfigError, match="locked by a live agent"):
+            StateDirLock(tmp_path).acquire()
+        lock.release()
+        assert not lock.held
+        StateDirLock(tmp_path).acquire().release()  # free after release
+
+    def test_lock_names_the_holder_pid(self, tmp_path):
+        import os
+
+        lock = StateDirLock(tmp_path).acquire()
+        try:
+            with pytest.raises(ConfigError, match=str(os.getpid())):
+                StateDirLock(tmp_path).acquire()
+        finally:
+            lock.release()
+
+
+class TestNodeCliStateDir:
+    def test_state_dir_that_is_a_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "occupied"
+        path.write_text("i am a file")
+        code = node_main(["--actor", "vm", "--state-dir", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_locked_state_dir_exits_2(self, tmp_path, capsys):
+        lock = StateDirLock(tmp_path).acquire()
+        try:
+            code = node_main(["--actor", "vm", "--state-dir", str(tmp_path)])
+        finally:
+            lock.release()
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "locked by a live agent" in err
+
+    def test_state_dir_is_created_and_locked_for_real_agents(self, tmp_path):
+        """Two real CLI processes on one state dir: the second must exit 2
+        with the one-line error while the first is alive."""
+        import os
+
+        state = tmp_path / "vm-state"
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        argv = [sys.executable, "-m", "repro.tools.node",
+                "--actor", "vm", "--port", "0", "--state-dir", str(state)]
+        first = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, text=True,
+        )
+        try:
+            assert first.stdout.readline().startswith("READY")
+            assert state.is_dir() and (state / "agent.lock").exists()
+            second = subprocess.run(
+                argv, capture_output=True, text=True, timeout=30, env=env,
+            )
+            assert second.returncode == 2
+            assert "locked by a live agent" in second.stderr
+            assert second.stderr.strip().count("\n") == 0
+        finally:
+            first.kill()
+            first.wait(10)
+
+
+# ---------------------------------------------------------------------------
+# DiskSpill durability knob
+# ---------------------------------------------------------------------------
+
+
+class TestDiskSpillFsync:
+    def test_default_never_policy_does_not_fsync(self, tmp_path):
+        spill = DiskSpill(tmp_path)
+        spill.store(PageKey("b", "w", 0), PagePayload.real(b"x" * 64))
+        assert spill.fsyncs == 0
+
+    def test_always_policy_fsyncs_file_and_directory(self, tmp_path):
+        spill = DiskSpill(tmp_path, fsync="always")
+        spill.store(PageKey("b", "w", 0), PagePayload.real(b"x" * 64))
+        assert spill.fsyncs == 2  # tmp file before rename + parent dir after
+        assert spill.load(PageKey("b", "w", 0)).as_bytes() == b"x" * 64
+
+    def test_policy_knob_shares_the_journal_vocabulary(self, tmp_path):
+        with pytest.raises(ConfigError, match="fsync"):
+            DiskSpill(tmp_path, fsync="usually")
