@@ -45,9 +45,15 @@ class BlobClient:
         *,
         name: str | None = None,
         cache_capacity: int = DEFAULT_CAPACITY,
+        elastic: bool = False,
     ) -> None:
         self.driver = driver
         self.router = router
+        #: elastic-cluster mode (deployments with strategy="hash_ring"):
+        #: WRITEs allocate at each page's consistent-hash home and READs
+        #: fall back to the pm's relocation table when a rebalance moved
+        #: pages off the providers their metadata records
+        self.elastic = elastic
         self.name = name or f"client-{next(_client_seq)}"
         self.cache: MetadataCache | None = (
             MetadataCache(cache_capacity) if cache_capacity > 0 else None
@@ -96,7 +102,7 @@ class BlobClient:
         return self.driver.run(
             write_protocol(
                 blob_id, geom, offset, payloads, self.router,
-                fresh_write_uid(self.name),
+                fresh_write_uid(self.name), hashed_alloc=self.elastic,
             )
         )
 
@@ -147,6 +153,7 @@ class BlobClient:
             read_protocol(
                 blob_id, geom, offset, size, self.router,
                 version=version, cache=self.cache, with_data=with_data,
+                locate_fallback=self.elastic,
             )
         )
 
@@ -179,6 +186,7 @@ class BlobClient:
             read_protocol(
                 blob_id, geom, offset, size, self.router,
                 version=version, cache=self.cache, out=out,
+                locate_fallback=self.elastic,
             )
         )
 

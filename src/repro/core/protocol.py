@@ -123,8 +123,16 @@ def write_protocol(
     router: StaticRouter,
     write_uid: str,
     trace: dict[str, float] | None = None,
+    hashed_alloc: bool = False,
 ) -> Proto:
     """The WRITE of paper §III.B; returns a :class:`WriteResult`.
+
+    ``hashed_alloc`` switches step 1 to the pm's consistent-hash
+    allocation (``pm.get_providers_hashed``): placement then depends only
+    on each page's key and the live provider set, which is what lets an
+    elastic cluster compute minimal migrations when membership changes.
+    Off by default — the paper's strategies and their wire behavior are
+    untouched.
 
     When ``trace`` is supplied it is filled with phase timestamps
     (``start``, ``providers_allocated``, ``pages_stored``,
@@ -153,9 +161,18 @@ def write_protocol(
     yield from mark("start")
 
     # 1. ask the provider manager where the fresh pages should live
-    (groups,) = yield Batch(
-        [Call(ADDR_PM, "pm.get_providers", (blob_id, npages, geom.pagesize))]
-    )
+    if hashed_alloc:
+        (groups,) = yield Batch(
+            [Call(
+                ADDR_PM,
+                "pm.get_providers_hashed",
+                (blob_id, write_uid, first_page, npages, geom.pagesize),
+            )]
+        )
+    else:
+        (groups,) = yield Batch(
+            [Call(ADDR_PM, "pm.get_providers", (blob_id, npages, geom.pagesize))]
+        )
     yield from mark("providers_allocated")
 
     # 2. store all pages in parallel (every replica of every page at once)
@@ -226,8 +243,15 @@ def read_protocol(
     with_data: bool = True,
     out: Any | None = None,
     trace: dict[str, float] | None = None,
+    locate_fallback: bool = False,
 ) -> Proto:
     """The READ of paper §III.B; returns a :class:`ReadResult`.
+
+    ``locate_fallback`` arms the elastic-cluster page fallback: when every
+    provider a tree node records answers PageMissing (the page was moved
+    by a rebalance after the node was published), the client asks the pm
+    where those pages went (``pm.locate``) and fetches from the current
+    holders. Zero extra RPCs while pages are where their metadata says.
 
     ``with_data=False`` runs the full metadata + page protocol but skips
     byte assembly (simulation benches; virtual payloads).
@@ -328,7 +352,7 @@ def read_protocol(
     yield from mark("metadata_read")
 
     # 3. fetch the pages referenced by the leaves, in parallel
-    payloads = yield from _gather_pages(geom, leaves)
+    payloads = yield from _gather_pages(geom, leaves, locate_fallback)
     if leaves:
         yield Compute("client.touch_page", len(leaves))
     yield from mark("pages_read")
@@ -480,36 +504,82 @@ def _gather_nodes(router: StaticRouter, keys: list[NodeKey]) -> Proto:
     return (yield from _gather_with_failover(keys, routes_for, call_for))
 
 
-def _gather_pages(geom: TreeGeometry, leaves: list[TreeNode]) -> Proto:
-    """Fetch page payloads for leaves, falling back across page replicas."""
+def _gather_pages(
+    geom: TreeGeometry, leaves: list[TreeNode], locate_fallback: bool = False
+) -> Proto:
+    """Fetch page payloads for leaves, falling back across page replicas.
+
+    With ``locate_fallback``, exhausting a leaf's recorded providers is
+    not final: the pm's relocation table is consulted once, in one batch
+    for all still-missing pages, and the fetch retried against the
+    current holders (the elastic-membership read path)."""
+
+    def key_for(leaf: TreeNode) -> PageKey:
+        return PageKey(
+            leaf.key.blob_id, leaf.write_uid, geom.page_index(leaf.interval)
+        )
 
     def routes_for(leaf: TreeNode) -> tuple[Address, ...]:
         return tuple(data_addr(p) for p in leaf.providers)
 
     def call_for(leaf: TreeNode, owner: Address, last: bool) -> Call:
-        key = PageKey(leaf.key.blob_id, leaf.write_uid, geom.page_index(leaf.interval))
         return Call(
             owner,
             "data.get_page",
-            (key,),
+            (key_for(leaf),),
             request_bytes=_GET_PAGE_REQ_BYTES,
             allow_error=not last,
         )
 
-    return (yield from _gather_with_failover(leaves, routes_for, call_for))
+    payloads = yield from _gather_with_failover(
+        leaves, routes_for, call_for, tolerate_exhaust=locate_fallback
+    )
+    if not locate_fallback:
+        return payloads
+    missing = [i for i, p in enumerate(payloads) if isinstance(p, RemoteError)]
+    if not missing:
+        return payloads
+    keys = [key_for(leaves[i]) for i in missing]
+    (located,) = yield Batch([Call(ADDR_PM, "pm.locate", (keys,))])
+    retry: list[tuple[int, tuple[int, ...]]] = []
+    for i, holders in zip(missing, located):
+        if not holders:
+            # the pm never moved it: the original loss is the real story
+            raise payloads[i].unwrap()
+        retry.append((i, holders))
+
+    def retry_routes(item: tuple[int, tuple[int, ...]]) -> tuple[Address, ...]:
+        return tuple(data_addr(p) for p in item[1])
+
+    def retry_call(item: tuple[int, tuple[int, ...]], owner: Address, last: bool) -> Call:
+        return Call(
+            owner,
+            "data.get_page",
+            (key_for(leaves[item[0]]),),
+            request_bytes=_GET_PAGE_REQ_BYTES,
+            allow_error=not last,
+        )
+
+    fetched = yield from _gather_with_failover(retry, retry_routes, retry_call)
+    for (i, _holders), payload in zip(retry, fetched):
+        payloads[i] = payload
+    return payloads
 
 
 def _gather_with_failover(
     items: list,
     routes_for: Callable[[Any], tuple[Address, ...]],
     call_for: Callable[[Any, Address, bool], Call],
+    tolerate_exhaust: bool = False,
 ) -> Proto:
     """Fetch one value per item, retrying across each item's replica owners.
 
     Attempt ``k`` addresses replica ``k`` of every still-unresolved item in
     one parallel batch. The final replica's call is issued with
     ``allow_error=False`` so an unrecoverable loss raises with its precise
-    error type.
+    error type — unless ``tolerate_exhaust``, where the final error is
+    returned in the item's slot instead (callers with a further fallback,
+    e.g. the pm relocation table, decide what exhaustion means).
     """
     if not items:
         return []
@@ -521,12 +591,24 @@ def _gather_with_failover(
         for i in pending:
             routes = routes_for(items[i])
             last = attempt >= len(routes) - 1
-            calls.append(call_for(items[i], routes[min(attempt, len(routes) - 1)], last))
+            calls.append(
+                call_for(
+                    items[i],
+                    routes[min(attempt, len(routes) - 1)],
+                    last and not tolerate_exhaust,
+                )
+            )
         results = yield Batch(calls)
         still: list[int] = []
         for i, result in zip(pending, results):
             if isinstance(result, RemoteError):
-                still.append(i)
+                if (
+                    tolerate_exhaust
+                    and attempt >= len(routes_for(items[i])) - 1
+                ):
+                    out[i] = result  # exhausted: hand the error back
+                else:
+                    still.append(i)
             else:
                 out[i] = result
         pending = still

@@ -34,6 +34,7 @@ class InprocDeployment:
             self.router,
             name=name,
             cache_capacity=self.spec.cache_capacity,
+            elastic=self.spec.strategy == "hash_ring",
         )
         self._clients.append(c)
         return c

@@ -290,6 +290,7 @@ class TcpDeployment:
             self.router,
             name=name,
             cache_capacity=self.spec.cache_capacity,
+            elastic=self.spec.strategy == "hash_ring",
         )
         self._clients.append(c)
         return c
@@ -319,6 +320,105 @@ class TcpDeployment:
     def transport_stats(self) -> dict[str, int]:
         """Batched-transport counters (see ThreadedDriver.transport_stats)."""
         return self.driver.transport_stats()
+
+    # -- elastic membership ----------------------------------------------
+
+    def add_agent(
+        self, provider_id: int | None = None, timeout: float = LAUNCH_TIMEOUT
+    ) -> int:
+        """Launch a new storage agent and admit it to the *running* cluster.
+
+        The agent self-registers with the pm over the PR 5 path (it is
+        started with ``--pm`` when the control plane is remote; with an
+        in-parent pm the builder registers it directly), the builder
+        blocks until the pm knows it, and a provider proxy joins
+        :attr:`data`. The new provider receives fresh allocations
+        immediately; call :meth:`rebalance` to migrate existing pages to
+        their new consistent-hash homes. Launched clusters only.
+        """
+        if not self.agents:
+            raise ConfigError(
+                "add_agent launches an OS process; connected clusters "
+                "(endpoints=...) are operator-managed"
+            )
+        new_id = provider_id if provider_id is not None else max(self.data) + 1
+        if ("data", new_id) in self.cluster_map:
+            raise ConfigError(f"provider {new_id} already deployed")
+        name = format_actor(("data", new_id))
+        host = self.cluster_map.endpoint_for(("data", min(self.data))).host
+        extra: list[str] = []
+        if self.remote_control_plane:
+            extra = ["--pm", str(self.cluster_map.endpoint_for("pm"))]
+        agent = _AgentProcess([name], host, self.spec.page_checksums, extra)
+        deadline = time.monotonic() + timeout
+        try:
+            endpoint = agent.wait_ready(deadline)
+        except BaseException:
+            agent.kill()
+            agent.close_pipe()
+            raise
+        self.agents.append(agent)
+        self.cluster_map.add(name, endpoint)
+        self.driver.register_remote(("data", new_id), endpoint)
+        self.driver.peer(("data", new_id)).wait_connected(timeout)
+        if self.remote_control_plane:
+            while new_id not in self.driver.call("pm", "pm.providers"):
+                if time.monotonic() > deadline:
+                    raise ConfigError(
+                        f"pm never learned new provider {new_id} "
+                        "(its agent registers at start via --pm)"
+                    )
+                time.sleep(0.05)
+        else:
+            self.pm.register(new_id)
+        self.data[new_id] = DataProviderProxy(self.driver, new_id)
+        return new_id
+
+    def rebalance(self, limit_moves: int | None = None) -> dict:
+        """Migrate pages to their consistent-hash homes (plan, execute,
+        commit — or resume a plan a crash interrupted). Requires the
+        ``hash_ring`` strategy; see :mod:`repro.providers.rebalance`."""
+        from repro.providers.rebalance import execute_rebalance
+
+        return execute_rebalance(
+            self.driver, self.pm.providers(), limit_moves=limit_moves
+        )
+
+    def drain_agent(
+        self, provider_id: int, limit_moves: int | None = None
+    ) -> dict:
+        """Drain one storage provider and retire it from the cluster.
+
+        Every page it holds is migrated to the surviving providers'
+        hash homes (journaled, resumable), the provider is deregistered,
+        and its actor receives a clean shutdown. With ``limit_moves`` the
+        drain stops early (``committed`` false) and the provider stays a
+        draining member — call again to resume.
+        """
+        from repro.providers.rebalance import drain_provider
+
+        summary = drain_provider(
+            self.driver,
+            self.pm.providers(),
+            provider_id,
+            limit_moves=limit_moves,
+        )
+        if not summary["committed"]:
+            return summary
+        address = ("data", provider_id)
+        self.driver.peer(address).stop()
+        self.data.pop(provider_id, None)
+        try:
+            idx = self.agent_index_for(address)
+        except KeyError:
+            idx = None
+        if idx is not None and self.agents[idx].actor_names == [
+            format_actor(address)
+        ]:
+            # the agent hosted only this actor: its serve loop exits now
+            self.agents[idx].reap()
+            self.agents[idx].close_pipe()
+        return summary
 
     # -- failure injection ------------------------------------------------
 

@@ -38,6 +38,7 @@ class ThreadedDeployment:
             self.router,
             name=name,
             cache_capacity=self.spec.cache_capacity,
+            elastic=self.spec.strategy == "hash_ring",
         )
         self._clients.append(c)
         return c
@@ -62,6 +63,18 @@ class ThreadedDeployment:
     def transport_stats(self) -> dict[str, int]:
         """Batched-transport counters (see ThreadedDriver.transport_stats)."""
         return self.driver.transport_stats()
+
+    def add_data_provider(self) -> int:
+        """A provider joining the running system on its own service thread
+        (paper: providers may dynamically join). Mirrors
+        ``InprocDeployment.add_data_provider``; pair with
+        :mod:`repro.providers.rebalance` to migrate pages to it."""
+        new_id = max(self.data, default=-1) + 1
+        dp = DataProvider(new_id, checksum=self.spec.page_checksums)
+        self.data[new_id] = dp
+        self.driver.register(("data", new_id), dp)
+        self.pm.register(new_id)
+        return new_id
 
     def close(self) -> None:
         self.driver.close()

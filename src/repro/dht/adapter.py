@@ -69,15 +69,31 @@ class DhtMetadataService:
 class SingleServiceRouter(StaticRouter):
     """Router sending every metadata key to one service address.
 
-    Used with :class:`DhtMetadataService`: the ring handles dispersal
-    internally, so the blob protocols see a single logical endpoint.
+    Used with :class:`DhtMetadataService`: the ring handles dispersal and
+    replication internally, so the blob protocols see a single logical
+    endpoint. ``replication`` reports the *ring's* factor (pass the
+    ring's, or build via :meth:`for_ring`) so callers that size fail-over
+    attempts off ``router.replication`` see the truth; the capacity check
+    against the one visible address is relaxed via the
+    :class:`StaticRouter` extension point, not by skipping base-class
+    initialization.
     """
 
-    def __init__(self, address: Address = ("meta", 0)) -> None:
-        # StaticRouter validation expects at least one id; bypass it.
+    def __init__(
+        self, address: Address = ("meta", 0), replication: int = 1
+    ) -> None:
         self._address = address
-        self.meta_ids = (0,)
-        self.replication = 1
+        super().__init__((address[1],), replication=replication)
+
+    @classmethod
+    def for_ring(cls, ring: ChordRing, address: Address = ("meta", 0)) -> "SingleServiceRouter":
+        """Router advertising the ring's actual replication factor."""
+        return cls(address, replication=ring.replication)
+
+    def _check_capacity(self, meta_ids, replication) -> None:
+        # One visible endpoint fronts the whole ring: the ring validated
+        # its own replication factor against live membership already.
+        return
 
     def primary(self, key: NodeKey) -> Address:
         return self._address

@@ -99,26 +99,30 @@ class ChordRing:
                 return False
         return True
 
-    def rereplicate(self) -> int:
+    def rereplicate(self) -> tuple[int, int]:
         """Re-establish the replication factor after membership changes.
 
-        Each node pushes its keys to the current owner's replica set (and
-        owners reclaim keys held by non-owners), so every key ends up on
-        exactly the owner + (k-1) successors.
+        Each node pushes its keys to the current owner's replica set, and
+        only once a copy has landed on every replica target does a
+        non-target holder reclaim its own — copy-then-reclaim, so an
+        exception between the two phases can never drop the last replica.
+        Returns ``(copied, reclaimed)``.
         """
         copied = 0
+        reclaimed = 0
         snapshot = [(n, list(n.store.items())) for n in self._live_nodes()]
         for node, items in snapshot:
             for key, value in items:
                 owner = self.owner_of(key)
                 targets = list(owner.replica_targets(self.replication))
-                if node not in targets:
-                    del node.store[key]
                 for t in targets:
                     if key not in t.store:
                         t.store[key] = value
                         copied += 1
-        return copied
+                if node not in targets:
+                    del node.store[key]
+                    reclaimed += 1
+        return copied, reclaimed
 
     # -- key operations ---------------------------------------------------------
 

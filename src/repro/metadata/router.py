@@ -78,13 +78,19 @@ class StaticRouter:
             raise ValueError("need at least one metadata provider")
         if replication < 1:
             raise ValueError(f"replication must be >= 1, got {replication}")
+        self._check_capacity(meta_ids, replication)
+        self.meta_ids = tuple(meta_ids)
+        self.replication = replication
+        self._route_cache: dict[NodeKey, tuple[Address, ...]] = {}
+
+    def _check_capacity(self, meta_ids: Sequence[int], replication: int) -> None:
+        """Extension point: can ``replication`` copies land on distinct
+        members of ``meta_ids``? Subclasses whose single logical endpoint
+        disperses internally (the DHT adapter) relax this."""
         if replication > len(meta_ids):
             raise ValueError(
                 f"replication {replication} exceeds provider count {len(meta_ids)}"
             )
-        self.meta_ids = tuple(meta_ids)
-        self.replication = replication
-        self._route_cache: dict[NodeKey, tuple[Address, ...]] = {}
 
     def primary(self, key: NodeKey) -> Address:
         return self.route(key)[0]

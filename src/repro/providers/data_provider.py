@@ -120,6 +120,36 @@ class DataProvider:
         """
         return list(self.iter_pages(blob_id))
 
+    def manifest(self) -> list[tuple[PageKey, int]]:
+        """``(key, nbytes)`` for every RAM-resident page — the rebalance
+        planner's input (what this provider *actually* holds, which after
+        crashes or partial migrations may differ from what was allocated)."""
+        self._check_up()
+        return [(key, payload.nbytes) for key, payload in self._pages.items()]
+
+    def migrate_in(self, key: PageKey, payload: PagePayload) -> bool:
+        """Accept a page handed off by another provider.
+
+        Idempotent, unlike :meth:`put_page`: migration moves are resumed
+        after crashes, so the same hand-off may arrive twice — a page
+        already held is acknowledged (``False``), never an
+        ImmutabilityViolation. Write-once discipline is preserved because
+        the payload for a given key is immutable cluster-wide.
+        """
+        self._check_up()
+        if key in self._pages:
+            return False
+        self._pages[key] = payload
+        self.bytes_stored += payload.nbytes
+        self.puts += 1
+        if self.checksum:
+            digest = page_checksum(payload)
+            if digest is not None:
+                self._checksums[key] = digest
+        if self._spill is not None:
+            self._spill.store(key, payload)
+        return True
+
     def evict_to_spill(self) -> int:
         """Drop in-RAM copies that are safely persisted (needs a spill)."""
         if self._spill is None:
@@ -171,4 +201,8 @@ class DataProvider:
             return self.dump_pages(*args)
         if method == "data.stats":
             return self.stats()
+        if method == "data.manifest":
+            return self.manifest()
+        if method == "data.migrate_in":
+            return self.migrate_in(*args)
         raise ValueError(f"data provider: unknown method {method!r}")

@@ -60,23 +60,36 @@ class HealthTracker:
         self._providers.pop(provider_id, None)
 
     def heartbeat(self, provider_id: int, now: float | None = None) -> HealthState:
-        """Record a heartbeat; unknown providers (re)register implicitly."""
+        """Record a heartbeat; unknown providers (re)register implicitly.
+
+        The beat is credited to the reporting provider *before* the clock
+        advances: a provider reporting exactly at the ``evict_after``
+        boundary stays a member (the old order evicted it first — a
+        journaled deregistration — then silently re-registered it fresh).
+        """
+        entry = self._providers.get(provider_id)
+        if entry is not None:
+            entry.last_heartbeat = max(self.now, now if now is not None else self.now)
+            entry.state = HealthState.ALIVE
+            entry.suspected_at = None
         if now is not None:
             self.advance(now)
-        entry = self._providers.get(provider_id)
-        if entry is None:
+        if provider_id not in self._providers:
             self.register(provider_id)
-            return HealthState.ALIVE
-        entry.last_heartbeat = self.now
-        entry.state = HealthState.ALIVE
-        entry.suspected_at = None
-        return entry.state
+        return HealthState.ALIVE
 
     def advance(self, now: float) -> list[tuple[int, HealthState]]:
-        """Move the clock forward; returns state transitions it caused."""
+        """Move the clock forward; returns state transitions it caused.
+
+        Eviction requires both total silence ≥ ``evict_after`` and a
+        minimum SUSPECT dwell of ``evict_after - suspect_after``: one
+        large clock step marks a silent provider SUSPECT but cannot jump
+        it straight to DEAD, so the grace window is always observed.
+        """
         if now < self.now:
             raise ValueError(f"clock moved backwards: {now} < {self.now}")
         self.now = now
+        dwell = self.evict_after - self.suspect_after
         transitions: list[tuple[int, HealthState]] = []
         for pid, entry in list(self._providers.items()):
             silent = self.now - entry.last_heartbeat
@@ -84,7 +97,12 @@ class HealthTracker:
                 entry.state = HealthState.SUSPECT
                 entry.suspected_at = self.now
                 transitions.append((pid, HealthState.SUSPECT))
-            if entry.state == HealthState.SUSPECT and silent >= self.evict_after:
+            if (
+                entry.state == HealthState.SUSPECT
+                and silent >= self.evict_after
+                and entry.suspected_at is not None
+                and self.now - entry.suspected_at >= dwell
+            ):
                 entry.state = HealthState.DEAD
                 transitions.append((pid, HealthState.DEAD))
                 del self._providers[pid]

@@ -15,6 +15,18 @@ RPC surface:
 - ``pm.providers()`` -> sorted live provider ids
 - ``pm.report_usage(provider_id, bytes)`` -> ack (keeps load view honest)
 
+Elastic membership (PR 7): with a hash-aware strategy
+(``strategies.HashRing``), ``pm.get_providers_hashed`` places each page at
+its consistent-hash home, so admitting or draining a provider implies a
+computable, minimal set of page moves. The pm plans those moves from
+provider manifests (``pm.plan_rebalance`` / ``pm.plan_drain``), journals
+the plan and every completed move (idempotent, resumable — a pm crash
+mid-rebalance recovers the plan from its WAL and the executor finishes
+it), tracks moved pages in a relocation table served via ``pm.locate``
+(the read path's fallback when a page left its recorded provider), and
+keeps draining providers out of fresh allocations until their last
+replica is handed off and they deregister.
+
 Durability (PR 6): with a :class:`~repro.core.journal.Journal` attached,
 membership and allocation follow the same WAL discipline as the version
 manager. Allocation records log only the *inputs* (blob, page count,
@@ -58,6 +70,13 @@ class ProviderManager:
         self._providers: set[int] = set()
         self._load: dict[int, int] = {}  # allocated bytes per provider
         self.allocations = 0
+        # elastic membership: pages whose holders differ from the groups
+        # recorded in metadata (moved by a rebalance), the active
+        # migration plan, providers being drained, and the plan counter
+        self._relocated: dict[tuple, tuple[int, ...]] = {}
+        self._migration: dict[str, Any] | None = None
+        self._draining: set[int] = set()
+        self._plan_seq = 0
         self.journal = journal
         self.replayed_records = 0
         if journal is not None:
@@ -79,6 +98,10 @@ class ProviderManager:
             "allocations": self.allocations,
             "strategy": self.strategy,
             "config": self._config_tuple(),
+            "relocated": self._relocated,
+            "migration": self._migration,
+            "draining": self._draining,
+            "plan_seq": self._plan_seq,
         }
 
     def _restore(self, state: dict[str, Any]) -> None:
@@ -87,6 +110,11 @@ class ProviderManager:
         self._load = state["load"]
         self.allocations = state["allocations"]
         self.strategy = state["strategy"]
+        # .get: snapshots written before elastic membership lack these
+        self._relocated = state.get("relocated", {})
+        self._migration = state.get("migration")
+        self._draining = state.get("draining", set())
+        self._plan_seq = state.get("plan_seq", 0)
 
     def _check_config(self, recorded: tuple, origin: str) -> None:
         if tuple(recorded) != self._config_tuple():
@@ -137,6 +165,14 @@ class ProviderManager:
             return self._apply_alloc(*record[1:])
         if op == "usage":
             return self._apply_usage(*record[1:])
+        if op == "alloch":
+            return self._apply_alloch(*record[1:])
+        if op == "mig_plan":
+            return self._apply_mig_plan(*record[1:])
+        if op == "mig_done":
+            return self._apply_mig_done(*record[1:])
+        if op == "mig_commit":
+            return self._apply_mig_commit(*record[1:])
         raise ValueError(f"provider manager: unknown journal record {op!r}")
 
     def close(self) -> None:
@@ -169,22 +205,29 @@ class ProviderManager:
 
     def _apply_deregister(self, provider_id: int) -> int:
         self._providers.discard(provider_id)
+        self._draining.discard(provider_id)
         self._load.pop(provider_id, None)
         return len(self._providers)
 
     def heartbeat(self, provider_id: int, now: float | None = None) -> str:
         """Record a provider heartbeat (requires a health tracker).
 
-        Passing ``now`` also advances the failure detector first, so
-        evictions implied by the new time take effect before the beat.
+        The beat is credited to the reporting provider *before* the clock
+        advances (a beat arriving exactly at the eviction boundary keeps
+        membership — the old order churned it through a journaled
+        deregister/register cycle); evictions of *other* providers
+        implied by the new time are then reconciled and journaled.
         """
         if self.health is None:
             return "untracked"
-        if now is not None:
-            self.tick(now)
         if provider_id not in self._providers:
             self.register(provider_id)
-        return self.health.heartbeat(provider_id).value
+        state = self.health.heartbeat(provider_id, now)
+        if now is not None:
+            members = set(self.health.members())
+            for pid in sorted(self._providers - members):
+                self._log_and_apply(("deregister", pid))
+        return state.value
 
     def tick(self, now: float) -> list[tuple[int, str]]:
         """Advance the failure detector; evicts DEAD providers.
@@ -209,16 +252,21 @@ class ProviderManager:
 
     # -- allocation ------------------------------------------------------
 
+    def _live_for_allocation(self) -> list[int]:
+        """Providers eligible for fresh pages: healthy and not draining."""
+        if self.health is not None:
+            live = [p for p in self.health.allocatable() if p in self._providers]
+        else:
+            live = sorted(self._providers)
+        return [p for p in live if p not in self._draining]
+
     def get_providers(
         self, blob_id: str, npages: int, pagesize: int
     ) -> list[tuple[int, ...]]:
         """Choose ``replication`` distinct providers for each fresh page."""
         if npages < 1:
             raise ValueError(f"npages must be >= 1, got {npages}")
-        if self.health is not None:
-            live = [p for p in self.health.allocatable() if p in self._providers]
-        else:
-            live = sorted(self._providers)
+        live = self._live_for_allocation()
         if len(live) < self.replication:
             raise NotEnoughProviders(
                 f"need {self.replication} providers, have {len(live)}"
@@ -257,6 +305,230 @@ class ProviderManager:
         if provider_id in self._providers:
             self._load[provider_id] = max(0, nbytes)
         return True
+
+    # -- elastic membership: hash placement, rebalance, drain ------------
+
+    def _place_key(self):
+        place = getattr(self.strategy, "place_key", None)
+        if place is None:
+            raise ConfigError(
+                f"strategy {self.strategy.name!r} is not hash-aware; elastic "
+                "rebalancing requires a key-addressable placement "
+                "(strategy 'hash_ring')"
+            )
+        return place
+
+    def get_providers_hashed(
+        self,
+        blob_id: str,
+        write_uid: str,
+        first_page: int,
+        npages: int,
+        pagesize: int,
+    ) -> list[tuple[int, ...]]:
+        """Hash-aware allocation: each page at its consistent-hash home.
+
+        Unlike :meth:`get_providers`, placement depends only on the page
+        key and the live set — not on allocation order — which is what
+        makes membership changes computable as page moves.
+        """
+        if npages < 1:
+            raise ValueError(f"npages must be >= 1, got {npages}")
+        self._place_key()  # fail before journaling if not hash-aware
+        live = self._live_for_allocation()
+        if len(live) < self.replication:
+            raise NotEnoughProviders(
+                f"need {self.replication} providers, have {len(live)}"
+            )
+        return self._log_and_apply(
+            ("alloch", blob_id, write_uid, first_page, npages, pagesize, tuple(live))
+        )
+
+    def _apply_alloch(
+        self,
+        blob_id: str,
+        write_uid: str,
+        first_page: int,
+        npages: int,
+        pagesize: int,
+        live: tuple[int, ...],
+    ) -> list[tuple[int, ...]]:
+        place = self._place_key()
+        live = sorted(live)
+        groups: list[tuple[int, ...]] = []
+        for i in range(npages):
+            key = (blob_id, write_uid, first_page + i)
+            chosen = place(key, live, self.replication)
+            for p in chosen:
+                self._load[p] = self._load.get(p, 0) + pagesize
+            groups.append(tuple(chosen))
+        self.allocations += npages
+        return groups
+
+    def locate(self, keys: list) -> list[tuple[int, ...]]:
+        """Current holders of pages a rebalance moved; ``()`` = not moved.
+
+        The read path's fallback: when every provider recorded in a tree
+        node answers PageMissing, the client asks the pm where the page
+        went. Keys are normalized to plain tuples so PageKey objects and
+        bare tuples address the same relocation entry.
+        """
+        return [self._relocated.get(tuple(k), ()) for k in keys]
+
+    def plan_rebalance(
+        self, manifests: list, drain: int | None = None
+    ) -> dict[str, Any] | None:
+        """Plan page moves restoring hash placement over the live set.
+
+        ``manifests`` is ``[(pid, [(key, nbytes), ...]), ...]`` — what
+        each provider actually holds. With ``drain`` set, that provider
+        is excluded from the target set (and durably marked draining, so
+        fresh allocations skip it) and every page it holds moves off.
+
+        Returns the pending-plan view (see :meth:`pending_rebalance`), or
+        ``None`` when placement is already consistent and nothing is
+        draining. If a plan is already active it is returned as-is — the
+        executor must finish and commit it first (this is also the resume
+        path after a pm crash mid-rebalance: the recovered plan comes
+        back minus the moves whose ``mig_done`` records survived).
+        """
+        if self._migration is not None:
+            return self.pending_rebalance()
+        place = self._place_key()
+        if drain is not None and drain not in self._providers:
+            raise ConfigError(f"cannot drain unknown provider {drain}")
+        live = sorted(
+            p
+            for p in self._providers
+            if p not in self._draining and p != drain
+        )
+        if len(live) < self.replication:
+            raise NotEnoughProviders(
+                f"draining would leave {len(live)} providers, "
+                f"replication needs {self.replication}"
+            )
+        moves = self._compute_moves(manifests, live, place)
+        if not moves and drain is None:
+            return None
+        plan_id = self._plan_seq + 1
+        self._log_and_apply(("mig_plan", plan_id, tuple(moves), drain))
+        return self.pending_rebalance()
+
+    def _compute_moves(self, manifests: list, live: list[int], place) -> list:
+        """Minimal move list: per key, copies (src kept until the copy
+        lands everywhere) then reclaims — the ring's copy-then-reclaim
+        order, as journal records. Each move carries the holder tuple
+        that is true once it completes, so replaying ``mig_done`` records
+        rebuilds the relocation table exactly."""
+        holders_by_key: dict[tuple, list[int]] = {}
+        nbytes_by_key: dict[tuple, int] = {}
+        originals: dict[tuple, Any] = {}
+        for pid, entries in manifests:
+            for key, nbytes in entries:
+                k = tuple(key)
+                holders_by_key.setdefault(k, []).append(pid)
+                nbytes_by_key[k] = nbytes
+                originals[k] = key
+        moves: list[tuple] = []
+        for k in sorted(holders_by_key):
+            holders = sorted(holders_by_key[k])
+            desired = list(place(k, live, self.replication))
+            to_add = [p for p in desired if p not in holders]
+            to_del = [p for p in holders if p not in desired]
+            if not to_add and not to_del:
+                continue
+            key, nbytes = originals[k], nbytes_by_key[k]
+            src = next((p for p in holders if p in desired), holders[0])
+            current = [p for p in desired if p in holders]
+            for dst in to_add:
+                current = current + [dst]
+                moves.append(
+                    ("copy", key, src, dst, nbytes,
+                     tuple(p for p in desired if p in current))
+                )
+            remaining = [p for p in current if p in desired] + to_del
+            for pid in to_del:
+                remaining = [p for p in remaining if p != pid]
+                moves.append(("free", key, pid, None, nbytes, tuple(remaining)))
+        return moves
+
+    def _apply_mig_plan(
+        self, plan_id: int, moves: tuple, drain: int | None
+    ) -> bool:
+        self._plan_seq = plan_id
+        self._migration = {
+            "id": plan_id,
+            "moves": list(moves),
+            "done": set(),
+            "drain": drain,
+        }
+        if drain is not None:
+            self._draining.add(drain)
+        return True
+
+    def migration_done(self, plan_id: int, index: int) -> bool:
+        """Record one completed move (idempotent — safe to re-report
+        after an executor or pm restart; duplicates are not re-journaled)."""
+        mig = self._migration
+        if mig is None or mig["id"] != plan_id or index in mig["done"]:
+            return True
+        return self._log_and_apply(("mig_done", plan_id, index))
+
+    def _apply_mig_done(self, plan_id: int, index: int) -> bool:
+        mig = self._migration
+        if mig is None or mig["id"] != plan_id or index in mig["done"]:
+            return True
+        kind, key, src, dst, nbytes, holders_after = mig["moves"][index]
+        k = tuple(key)
+        if kind == "copy":
+            self._load[dst] = self._load.get(dst, 0) + nbytes
+        else:  # free
+            self._load[src] = max(0, self._load.get(src, 0) - nbytes)
+        self._relocated[k] = tuple(holders_after)
+        mig["done"].add(index)
+        return True
+
+    def migration_commit(self, plan_id: int) -> bool:
+        """Close the plan once every move is done (idempotent). Draining
+        marks persist until the drained provider deregisters."""
+        mig = self._migration
+        if mig is None or mig["id"] != plan_id:
+            return True
+        pending = len(mig["moves"]) - len(mig["done"])
+        if pending:
+            raise ConfigError(
+                f"migration plan {plan_id} has {pending} unfinished move(s)"
+            )
+        return self._log_and_apply(("mig_commit", plan_id))
+
+    def _apply_mig_commit(self, plan_id: int) -> bool:
+        if self._migration is not None and self._migration["id"] == plan_id:
+            self._migration = None
+        return True
+
+    def pending_rebalance(self) -> dict[str, Any] | None:
+        """The active migration plan, executor- and operator-readable:
+        remaining moves keep their plan indices so ``migration_done``
+        reports land on the right record after a resume."""
+        mig = self._migration
+        if mig is None:
+            return None
+        return {
+            "plan": mig["id"],
+            "drain": mig["drain"],
+            "total": len(mig["moves"]),
+            "done": len(mig["done"]),
+            "moves": [
+                (i, kind, key, src, dst, nbytes)
+                for i, (kind, key, src, dst, nbytes, _after) in enumerate(
+                    mig["moves"]
+                )
+                if i not in mig["done"]
+            ],
+        }
+
+    def draining(self) -> list[int]:
+        return sorted(self._draining)
 
     def load_view(self) -> dict[int, int]:
         return dict(self._load)
@@ -297,4 +569,18 @@ class ProviderManager:
             return self.tick(*args)
         if method == "pm.config":
             return self.config()
+        if method == "pm.get_providers_hashed":
+            return self.get_providers_hashed(*args)
+        if method == "pm.locate":
+            return self.locate(*args)
+        if method == "pm.plan_rebalance":
+            return self.plan_rebalance(*args)
+        if method == "pm.migration_done":
+            return self.migration_done(*args)
+        if method == "pm.migration_commit":
+            return self.migration_commit(*args)
+        if method == "pm.pending_rebalance":
+            return self.pending_rebalance()
+        if method == "pm.draining":
+            return self.draining()
         raise ValueError(f"provider manager: unknown method {method!r}")

@@ -13,8 +13,10 @@ from __future__ import annotations
 
 import heapq
 from abc import ABC, abstractmethod
-from typing import Sequence
+from bisect import bisect_right
+from typing import Hashable, Sequence
 
+from repro.dht.hashing import key_id, node_id
 from repro.util.rng import substream
 
 
@@ -139,13 +141,98 @@ class RandomK(AllocationStrategy):
         return {"k": self.k, "seed": self._seed}
 
 
+class HashRing(AllocationStrategy):
+    """Consistent-hash placement on a virtual-node ring (elastic clusters).
+
+    Each provider occupies ``vnodes`` positions on the 160-bit ring of
+    :mod:`repro.dht.hashing`; a page key's home is the first position
+    clockwise of ``key_id(key)``. Because a provider's positions depend
+    only on its id, admitting or draining one provider moves only the keys
+    whose home interval it gains or loses — the property the elastic
+    rebalancer relies on to compute minimal page migrations
+    (:meth:`place_key` is the single placement truth shared by the
+    allocation path and the migration planner).
+
+    ``allocate`` (the keyless strategy surface) walks providers in ring
+    order with a cursor — deterministic and replay-safe like RoundRobin —
+    so the strategy stays usable anywhere a strategy is accepted; the
+    hash-aware pm allocation path calls :meth:`place_key` instead.
+    """
+
+    name = "hash_ring"
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._cursor = 0
+        # ring cache per provider set: (sorted positions, position -> pid)
+        self._rings: dict[tuple[int, ...], tuple[list[int], dict[int, int]]] = {}
+
+    def _ring(
+        self, providers: Sequence[int]
+    ) -> tuple[list[int], dict[int, int]]:
+        key = tuple(sorted(providers))
+        cached = self._rings.get(key)
+        if cached is not None:
+            return cached
+        owner: dict[int, int] = {}
+        for pid in key:
+            for v in range(self.vnodes):
+                owner[node_id(f"provider:{pid}#{v}")] = pid
+        positions = sorted(owner)
+        if len(self._rings) >= 64:  # membership sets are few; stay bounded
+            self._rings.clear()
+        self._rings[key] = (positions, owner)
+        return positions, owner
+
+    def place_key(
+        self, key: Hashable, providers: Sequence[int], count: int = 1
+    ) -> list[int]:
+        """``count`` distinct providers for ``key``, in ring order.
+
+        Position 0 is the key's home (primary); the rest are the next
+        distinct providers clockwise — the replica set, mirroring
+        ``ChordNode.replica_targets``.
+        """
+        positions, owner = self._ring(providers)
+        want = min(count, len(set(owner.values())))
+        start = bisect_right(positions, key_id(key))
+        out: list[int] = []
+        for i in range(len(positions)):
+            pid = owner[positions[(start + i) % len(positions)]]
+            if pid not in out:
+                out.append(pid)
+                if len(out) == want:
+                    break
+        return out
+
+    def allocate(
+        self, npages: int, providers: Sequence[int], load: dict[int, int]
+    ) -> list[int]:
+        ring_sorted = sorted(providers, key=lambda p: node_id(f"provider:{p}#0"))
+        out = []
+        m = len(ring_sorted)
+        for _ in range(npages):
+            out.append(ring_sorted[self._cursor % m])
+            self._cursor += 1
+        return out
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def params(self) -> dict:
+        return {"vnodes": self.vnodes}
+
+
 def make_strategy(name: str, **kwargs: object) -> AllocationStrategy:
     """Factory used by deployment configs: ``round_robin`` / ``least_loaded``
-    / ``random_k``."""
+    / ``random_k`` / ``hash_ring``."""
     table = {
         "round_robin": RoundRobin,
         "least_loaded": LeastLoaded,
         "random_k": RandomK,
+        "hash_ring": HashRing,
     }
     try:
         cls = table[name]

@@ -49,7 +49,56 @@ def build_parser() -> argparse.ArgumentParser:
         "age (completions elsewhere since assignment) — the operator view "
         "for diagnosing a wedged publish chain (see docs/OPERATIONS.md)",
     )
+    parser.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="elastic-membership view: run the write history on the "
+        "hash_ring strategy, join a new provider mid-run, print the pm's "
+        "migration plan (per-move table and per-provider load before/"
+        "after), execute it and drain the newcomer back out "
+        "(see 'Scale out / drain' in docs/OPERATIONS.md)",
+    )
     return parser
+
+
+def _print_loads(dep, label: str) -> None:
+    print(f"  load {label}:")
+    for pid in sorted(dep.data):
+        prov = dep.data[pid]
+        print(f"    data/{pid}: {prov.page_count} page(s)")
+
+
+def show_rebalance(dep) -> None:
+    """Join a provider, show and execute the pm's migration plan, drain."""
+    from repro.providers.rebalance import (
+        collect_manifests, drain_provider, execute_rebalance,
+    )
+
+    print("\nelastic rebalance (hash_ring placement):")
+    _print_loads(dep, "before join")
+    new_id = dep.add_data_provider()
+    print(f"  -> provider data/{new_id} joined the running cluster")
+
+    manifests = collect_manifests(dep.driver, sorted(dep.data))
+    plan = dep.pm.plan_rebalance(manifests)
+    if plan is None:
+        print("  migration plan: empty (every page already at its home)")
+        return
+    print(f"  migration plan #{plan['plan']}: {plan['total']} move(s)")
+    for index, kind, key, src, dst, nbytes in plan["moves"]:
+        arrow = f"data/{src} -> data/{dst}" if kind == "copy" else f"data/{src}"
+        print(f"    [{index:3d}] {kind:4s} page {tuple(key)[2]:3d} "
+              f"{arrow} ({nbytes} B)")
+    summary = execute_rebalance(dep.driver, sorted(dep.data))
+    print(f"  executed {summary['executed']} move(s), "
+          f"committed={summary['committed']}")
+    _print_loads(dep, "after rebalance")
+
+    summary = drain_provider(dep.driver, sorted(dep.data), new_id)
+    del dep.data[new_id]
+    print(f"  -> drained data/{new_id} back out "
+          f"({summary['executed']} move(s)); membership restored")
+    _print_loads(dep, "after drain")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -60,7 +109,8 @@ def main(argv: list[str] | None = None) -> int:
         print("error: --pages must be a power of two", file=sys.stderr)
         return 2
 
-    dep = build_inproc(DeploymentSpec(n_data=4, n_meta=4))
+    strategy = "hash_ring" if args.rebalance else "round_robin"
+    dep = build_inproc(DeploymentSpec(n_data=4, n_meta=4, strategy=strategy))
     client = dep.client("inspector")
     blob = client.alloc(total, pagesize)
     inspector = TreeInspector(client)
@@ -107,6 +157,9 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print("  -> later versions cannot publish past the gap; see "
                   "'Stuck writes' in docs/OPERATIONS.md")
+
+    if args.rebalance:
+        show_rebalance(dep)
 
     if args.diff:
         v1, v2 = args.diff

@@ -87,7 +87,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy",
         default="round_robin",
         help="page-allocation strategy for a hosted pm actor "
-        "(round_robin / least_loaded / random_k; default: round_robin)",
+        "(round_robin / least_loaded / random_k / hash_ring — hash_ring "
+        "enables elastic membership; default: round_robin)",
     )
     parser.add_argument(
         "--strategy-kwargs",

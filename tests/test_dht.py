@@ -263,3 +263,22 @@ class TestDhtMetadataAdapter:
         key = NodeKey("b", 1, 0, 4096)
         assert r.route(key) == (("meta", 0),)
         assert r.primary(key) == ("meta", 0)
+
+    def test_single_service_router_initializes_base_class(self):
+        """Regression: __init__ used to bypass StaticRouter.__init__
+        entirely, leaving base-class state (the route cache) unset."""
+        r = SingleServiceRouter(("meta", 3))
+        assert r.meta_ids == (3,)
+        assert r._route_cache == {}
+        assert r.replication == 1
+
+    def test_single_service_router_honors_ring_replication(self):
+        """Regression: replication was hardcoded to 1 no matter what the
+        ring behind the service actually replicates at."""
+        from repro.metadata.node import NodeKey
+
+        ring = ChordRing([f"m{i}" for i in range(6)], replication=3)
+        r = SingleServiceRouter.for_ring(ring)
+        assert r.replication == 3
+        # one visible endpoint still: dispersal happens inside the ring
+        assert r.route(NodeKey("b", 1, 0, 4096)) == (("meta", 0),)

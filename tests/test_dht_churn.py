@@ -1,0 +1,131 @@
+"""Property-style churn suite for the dht layer.
+
+Seeded random storms of join / graceful-leave / crash against a
+replicated :class:`~repro.dht.ring.ChordRing`, with the full invariant
+set re-checked after every membership event:
+
+- **durability**: every key written before the storm reads back its
+  exact value (crashes only ever take one replica at a time, and
+  ``rereplicate`` restores the factor before the next event);
+- **replication invariant**: each key is held by *exactly* k live
+  nodes, and those holders are precisely the owner's replica set;
+- **convergence**: successor/predecessor pointers re-form the sorted
+  live ring after every event;
+- **balance**: the final load distribution stays within a small
+  constant of the ideal per-node share.
+
+Everything is deterministic: node names hash to fixed ring positions
+and each storm derives from an explicit seed, so a failure replays
+exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dht.ring import ChordRing
+from repro.errors import NodeMissing
+
+K = 2
+N_START = 8
+N_KEYS = 200
+N_EVENTS = 24
+MIN_LIVE = 4  # never shrink below this (keeps k-replication satisfiable)
+
+SEEDS = (0xA1, 0xB2, 0xC3)
+
+
+def check_invariants(ring: ChordRing, expected: dict) -> None:
+    """The full post-event invariant set (see module docstring)."""
+    assert ring._consistent(), "ring failed to re-converge"
+    assert ring.keys() == set(expected), "key set changed under churn"
+    for key, value in expected.items():
+        assert ring.get(key) == value
+        holders = {
+            n for n in ring.nodes.values() if n.alive and key in n.store
+        }
+        owner = ring.owner_of(key)
+        targets = set(owner.replica_targets(ring.replication))
+        assert len(holders) == ring.replication, (
+            f"{key} on {len(holders)} nodes, want {ring.replication}"
+        )
+        assert holders == targets, f"{key} held off its replica set"
+
+
+def run_storm(seed: int) -> ChordRing:
+    rng = random.Random(seed)
+    ring = ChordRing([f"n{i}" for i in range(N_START)], replication=K)
+    expected = {("k", i): i * 31 for i in range(N_KEYS)}
+    for key, value in expected.items():
+        ring.put(key, value)
+    check_invariants(ring, expected)
+
+    for step in range(N_EVENTS):
+        live = sorted(n.name for n in ring.nodes.values() if n.alive)
+        ops = ["join"]
+        if len(live) > MIN_LIVE:
+            ops += ["leave", "crash"]
+        op = rng.choice(ops)
+        if op == "join":
+            ring.add_node(f"s{seed:x}-{step}")
+        elif op == "leave":
+            ring.remove_node(rng.choice(live), graceful=True)
+        else:
+            ring.remove_node(rng.choice(live), graceful=False)
+        check_invariants(ring, expected)
+    return ring
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_churn_storm_preserves_all_invariants(seed):
+    run_storm(seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_final_load_within_twice_ideal_share(seed):
+    """After a full storm the per-node load stays within 2x the ideal
+    share (single-hash-point Chord; the hash_ring *strategy* tightens
+    this with virtual nodes, see test_providers_strategies)."""
+    ring = run_storm(seed)
+    loads = ring.load_distribution()
+    assert sum(loads.values()) == N_KEYS * K
+    ideal = N_KEYS * K / len(ring)
+    assert max(loads.values()) <= 2 * ideal, (
+        f"max load {max(loads.values())} exceeds 2x ideal {ideal:.1f}"
+    )
+
+
+def test_crash_never_loses_the_last_replica():
+    """Directed variant: crash the *heaviest* node after every event —
+    the worst case for copy-then-reclaim — and every key survives."""
+    ring = ChordRing([f"n{i}" for i in range(10)], replication=3)
+    expected = {("c", i): i for i in range(120)}
+    for key, value in expected.items():
+        ring.put(key, value)
+    for step in range(4):
+        heaviest = max(ring.load_distribution().items(), key=lambda kv: kv[1])
+        ring.remove_node(heaviest[0], graceful=False)
+        ring.add_node(f"replace-{step}")
+        for key, value in expected.items():
+            assert ring.get(key) == value
+
+
+def test_unreplicated_crash_loses_only_the_victims_keys():
+    """Negative control (k=1): a crash loses exactly the victim's keys
+    and nothing else — the suite would catch over- or under-loss."""
+    ring = ChordRing([f"n{i}" for i in range(6)], replication=1)
+    expected = {("u", i): i for i in range(100)}
+    for key, value in expected.items():
+        ring.put(key, value)
+    victim = max(ring.load_distribution().items(), key=lambda kv: kv[1])[0]
+    lost = set(ring.nodes[victim].store)
+    assert lost
+    ring.remove_node(victim, graceful=False)
+    for key, value in expected.items():
+        if key in lost:
+            with pytest.raises(NodeMissing):
+                ring.get(key)
+        else:
+            assert ring.get(key) == value

@@ -592,7 +592,7 @@ N_DURABLE_STEPS = 10
 KILL_AFTER_STEP = 5  # phase 1 = steps [0, 5), phase 2 = steps [5, 10)
 
 
-def durable_step_program(blob_id, router, states, step):
+def durable_step_program(blob_id, router, states, step, elastic=False):
     """One step of the durable workload: a seeded write plus snapshot reads.
 
     Unlike :func:`serial_program`, each step carries its *own* rng (seeded
@@ -600,7 +600,9 @@ def durable_step_program(blob_id, router, states, step):
     plane kill+restart and still be byte-for-byte the workload an
     uninterrupted run executes. ``states`` is the caller-held replay model
     (reference bytes per version), appended to in place. Returns a list of
-    mismatch descriptions (empty = step verified)."""
+    mismatch descriptions (empty = step verified). ``elastic`` runs the
+    same workload in elastic-cluster mode (consistent-hash allocation,
+    relocation-aware reads) for the eighth configuration."""
     rng = random.Random(SEED ^ (0xD00B + step * 7919))
     errors = []
     npages = rng.choice((1, 1, 2, 4))
@@ -609,7 +611,7 @@ def durable_step_program(blob_id, router, states, step):
 
     res = yield from write_protocol(
         blob_id, GEOM, offset, split_pages(data, PAGE), router,
-        f"durable-{step}",
+        f"durable-{step}", hashed_alloc=elastic,
     )
     if res.version != len(states):
         errors.append(
@@ -621,7 +623,8 @@ def durable_step_program(blob_id, router, states, step):
 
     # read-your-writes on the just-published version
     snap = yield from read_protocol(
-        blob_id, GEOM, 0, TOTAL, router, version=res.version
+        blob_id, GEOM, 0, TOTAL, router, version=res.version,
+        locate_fallback=elastic,
     )
     if snap.data != states[res.version]:
         errors.append(f"step {step}: snapshot v{res.version} mismatch")
@@ -631,7 +634,9 @@ def durable_step_program(blob_id, router, states, step):
     v = rng.randrange(0, len(states))
     sz = rng.randrange(1, TOTAL)
     off = rng.randrange(0, TOTAL - sz)
-    part = yield from read_protocol(blob_id, GEOM, off, sz, router, version=v)
+    part = yield from read_protocol(
+        blob_id, GEOM, off, sz, router, version=v, locate_fallback=elastic
+    )
     if part.data != states[v][off : off + sz]:
         errors.append(f"step {step}: partial read of v{v} mismatch")
     return errors
@@ -737,5 +742,123 @@ def test_kill_restart_replay_matches_uninterrupted_run(tmp_path):
         assert _storage_stats(dep) == ref_storage, (
             "kill/restart leaked wire traffic to storage nodes"
         )
+    finally:
+        dep.close()
+
+
+# ---------------------------------------------------------------------------
+# eighth configuration: elastic membership, mid-workload join + drain
+# ---------------------------------------------------------------------------
+
+ELASTIC_SPEC = DeploymentSpec(
+    n_data=4, n_meta=3, n_clients=N_CLIENTS, cache_capacity=0,
+    strategy="hash_ring",
+)
+
+
+def _verify_snapshots(dep, blob_id, states):
+    """Every published version still reads back its reference bytes
+    (relocation-aware: pages may have migrated off the providers their
+    metadata records)."""
+    for v, want in enumerate(states):
+        res = dep.driver.run(
+            read_protocol(
+                blob_id, GEOM, 0, TOTAL, dep.router, version=v,
+                locate_fallback=True,
+            )
+        )
+        assert res.data == want, f"snapshot v{v} diverged"
+
+
+def test_elastic_join_drain_matches_static_cluster(tmp_path):
+    """The eighth certified configuration: the fully-remote TCP cluster on
+    consistent-hash placement admits a new storage agent *mid-workload*,
+    migrates pages to their new hash homes (with the pm SIGKILLed mid-
+    migration and recovered from its journal), serves snapshot reads
+    throughout the joined epoch, then drains the newcomer back out. The
+    finished workload — stored pages (content *and* placement), metadata
+    node records and version chains — must be bit-identical to the same
+    workload on a static cluster that never changed membership."""
+    steps = list(range(N_DURABLE_STEPS))
+
+    # reference: static hash_ring cluster, membership never changes
+    ref_dep = build_tcp(ELASTIC_SPEC, control_plane="agents")
+    try:
+        ref_blob = ref_dep.driver.run(alloc_protocol(TOTAL, PAGE))
+        ref_states = [bytes(TOTAL)]
+        for step in steps:
+            errs = ref_dep.driver.run(
+                durable_step_program(
+                    ref_blob, ref_dep.router, ref_states, step, elastic=True
+                )
+            )
+            assert errs == [], errs
+        ref = _durable_fingerprint(ref_dep, ref_blob)
+    finally:
+        ref_dep.close()
+    assert ref["latest"] == N_DURABLE_STEPS
+
+    # dynamic run: same workload, a join + drain between the phases
+    dep = build_tcp(ELASTIC_SPEC, control_plane="agents", state_dir=tmp_path)
+    try:
+        assert dep.in_parent_actors() == []
+        blob_id = dep.driver.run(alloc_protocol(TOTAL, PAGE))
+        assert blob_id == ref_blob
+        states = [bytes(TOTAL)]
+        for step in steps[:KILL_AFTER_STEP]:
+            errs = dep.driver.run(
+                durable_step_program(
+                    blob_id, dep.router, states, step, elastic=True
+                )
+            )
+            assert errs == [], errs
+
+        # a fifth agent joins the running cluster and pages start
+        # migrating toward their new hash homes...
+        new_id = dep.add_agent()
+        assert new_id == ELASTIC_SPEC.n_data
+        partial = dep.rebalance(limit_moves=2)
+        assert partial["executed"] == 2 and not partial["committed"]
+
+        # ...when the pm is SIGKILLed mid-migration. Recovery replays the
+        # journaled plan (with the already-completed moves marked done)
+        # and the rebalance resumes instead of restarting or double-moving
+        pm_i = dep.agent_index_for("pm")
+        dep.kill_agent(pm_i)
+        dep.restart_agent(pm_i)
+        dep.driver.peer("pm").wait_connected(timeout=JOIN_TIMEOUT)
+        resumed = dep.rebalance()
+        assert resumed["committed"], "recovered pm failed to finish the plan"
+        assert resumed["plan"] == partial["plan"], "recovery lost the plan"
+
+        # the newcomer now holds real pages, and every published snapshot
+        # still reads back exactly (locate fallback covers moved pages)
+        assert dep.data[new_id].page_count > 0
+        _verify_snapshots(dep, blob_id, states)
+
+        # drain the newcomer: its pages move to their hash homes over the
+        # surviving members, it deregisters, its agent shuts down
+        drained = dep.drain_agent(new_id)
+        assert drained["committed"] and drained["drain"] == new_id
+        assert new_id not in dep.pm.providers()
+        assert new_id not in dep.data
+        _verify_snapshots(dep, blob_id, states)
+
+        for step in steps[KILL_AFTER_STEP:]:
+            errs = dep.driver.run(
+                durable_step_program(
+                    blob_id, dep.router, states, step, elastic=True
+                )
+            )
+            assert errs == [], errs
+
+        assert states == ref_states
+        got = _durable_fingerprint(dep, blob_id)
+        assert got["patches"] == ref["patches"], "version chain differs"
+        assert got["latest"] == ref["latest"]
+        assert got["pages"] == ref["pages"], (
+            "stored pages (content or placement) differ from the static run"
+        )
+        assert got["nodes"] == ref["nodes"], "metadata tree differs"
     finally:
         dep.close()

@@ -435,9 +435,12 @@ class TestProviderManagerRecovery:
         )
         for i in range(3):
             pm.register(i)
+        pm.tick(5.0)  # provider 2 never beats: SUSPECT from t=5
         pm.heartbeat(0, now=8.0)
         pm.heartbeat(1, now=8.0)
-        pm.tick(11.0)  # provider 2 never beat: DEAD, journaled as deregister
+        # silent >= evict_after AND a full SUSPECT dwell served: DEAD,
+        # journaled as deregister
+        pm.tick(11.0)
         assert pm.providers() == [0, 1]
         pm.journal.close()  # crash
         pm2 = ProviderManager(

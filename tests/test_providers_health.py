@@ -31,9 +31,34 @@ class TestHealthTracker:
     def test_prolonged_silence_evicts(self):
         t = tracker()
         t.register(0)
-        t.advance(10.0)
+        t.advance(3.0)  # SUSPECT at t=3
+        t.advance(10.0)  # silent 10s AND dwelt 7s in SUSPECT
         assert t.state_of(0) == HealthState.DEAD
         assert t.members() == []
+
+    def test_one_big_clock_step_cannot_skip_suspect_dwell(self):
+        """A single jump past evict_after marks SUSPECT, never DEAD: the
+        grace window (evict_after - suspect_after of SUSPECT dwell) is
+        observed even when the clock arrives in one step."""
+        t = tracker()
+        t.register(0)
+        t.advance(50.0)
+        assert t.state_of(0) == HealthState.SUSPECT
+        assert t.members() == [0]
+        t.advance(56.9)  # dwell 6.9s < 7s: still within grace
+        assert t.state_of(0) == HealthState.SUSPECT
+        t.advance(57.0)  # dwell complete
+        assert t.state_of(0) == HealthState.DEAD
+
+    def test_heartbeat_at_evict_boundary_keeps_membership(self):
+        """The beat is credited before the clock advances: a provider
+        reporting exactly at the evict_after boundary stays ALIVE and is
+        never churned through a deregister/register cycle."""
+        t = tracker()
+        t.register(0)
+        assert t.heartbeat(0, now=10.0) == HealthState.ALIVE
+        assert t.state_of(0) == HealthState.ALIVE
+        assert t.members() == [0]
 
     def test_heartbeat_revives_suspect(self):
         t = tracker()
