@@ -1,0 +1,74 @@
+"""Tail latency: p50/p95/p99 of per-operation time under concurrency.
+
+The paper's Figure 3(c) claim is about *means* ("per client bandwidth
+hardly decreases"); the lock-free design implies the stronger property
+this bench pins: the latency *tail* stays controlled too — no p99 blowup
+from contention as clients are added, because there is nothing to queue
+on except the modeled wire.
+
+Quantiles are computed through :class:`repro.obs.hist.LatencyHistogram` —
+the identical accumulator the live telemetry path records into — so this
+bench also dogfoods the observability stack's numeric core against the
+simulator. Simulated durations are deterministic, hence the published
+p50/p95/p99 series are bit-stable and ``repro.bench.compare`` gates them
+at rtol 1e-9 (any drift means the protocol or the histogram changed, not
+the host).
+"""
+
+import time
+
+from repro.bench.figures import tail_latency_quantiles, render_series_table
+
+
+def test_tail_latency(benchmark, publish, publish_json, profile):
+    t0 = time.perf_counter()
+    fig = benchmark.pedantic(
+        tail_latency_quantiles,
+        kwargs=dict(
+            client_counts=profile.fig3c_clients,
+            iterations=profile.fig3c_iterations,
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    wall = time.perf_counter() - t0
+    publish(
+        "tail_latency", render_series_table(fig, y_format=lambda v: f"{v:.3f}")
+    )
+    publish_json("tail_latency", fig.figure_id, fig.series, wall, fig.counters)
+
+    for kind in ("Read", "Write"):
+        p50 = fig.series_by_label(f"{kind} p50").y
+        p95 = fig.series_by_label(f"{kind} p95").y
+        p99 = fig.series_by_label(f"{kind} p99").y
+        # quantile ordering at every client count
+        for lo, mid, hi in zip(p50, p95, p99):
+            assert 0 < lo <= mid <= hi, (kind, lo, mid, hi)
+        # the tail claim: p99 stays within a small factor of the median
+        # even at max concurrency — contention shifts the distribution,
+        # it must not grow a pathological tail
+        for lo, hi in zip(p50, p99):
+            assert hi < 3.0 * lo, (kind, p50, p99)
+        # tails under load stay bounded relative to the uncontended tail
+        assert p99[-1] < 3.0 * p99[0], (kind, p99)
+
+    # operations move 8 MB against a ~117.5 MB/s wire: medians live in the
+    # tens-to-hundreds of ms, nowhere near zero or seconds
+    all_values = [
+        y for kind in ("Read", "Write")
+        for q in ("p50", "p95", "p99")
+        for y in fig.series_by_label(f"{kind} {q}").y
+    ]
+    assert all(10 < y < 1000 for y in all_values)
+
+
+def test_tail_latency_deterministic():
+    """Two identical runs produce bit-identical quantile series — the
+    property that lets repro.bench.compare gate this figure at rtol 1e-9."""
+    kwargs = dict(client_counts=(2,), iterations=3)
+    a = tail_latency_quantiles(**kwargs)
+    b = tail_latency_quantiles(**kwargs)
+    assert [(s.label, s.y) for s in a.series] == [
+        (s.label, s.y) for s in b.series
+    ]

@@ -98,6 +98,30 @@ def run_concurrent_clients(
     paper's "Read (cached metadata)" series; the uncached series disables
     caching entirely, the paper's worst case).
     """
+    per_client = run_concurrent_client_durations(
+        dep, blob_id, n_clients, iterations, picker, kind, cached=cached
+    )
+    mb = picker.segment / (1 << 20)
+    return [mb * len(ds) / sum(ds) for ds in per_client]
+
+
+def run_concurrent_client_durations(
+    dep: SimDeployment,
+    blob_id: str,
+    n_clients: int,
+    iterations: int,
+    picker: SegmentPicker,
+    kind: str,
+    cached: bool = False,
+) -> list[list[float]]:
+    """The same experiment, returning every operation's simulated duration
+    (seconds), one list per client in client order.
+
+    This is the raw series behind both the bandwidth means
+    (:func:`run_concurrent_clients`) and the tail-latency quantiles
+    (``benchmarks/test_tail_latency.py``): per-op durations preserve the
+    distribution that a mean throws away.
+    """
     clients = [
         dep.client(i, cached=cached, name=f"{kind}-client-{i}")
         for i in range(n_clients)
@@ -124,5 +148,4 @@ def run_concurrent_clients(
         for i in range(n_clients)
     ]
     dep.sim.run(until=dep.sim.all_of(procs))
-    mb = picker.segment / (1 << 20)
-    return [mb * len(ds) / sum(ds) for ds in per_client]
+    return per_client

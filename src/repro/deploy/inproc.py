@@ -59,6 +59,15 @@ class InprocDeployment:
         cross-driver conformance suite compares these)."""
         return blob_nodes(self.meta.values(), blob_id)
 
+    def metrics(self) -> dict:
+        """The unified telemetry document (``repro.metrics/1``): per-actor
+        per-method latency quantiles recorded at the dispatch point (see
+        :mod:`repro.obs.metrics`). No wire layer here, so the wire
+        counters are ``None``."""
+        from repro.obs.metrics import scrape_driver
+
+        return scrape_driver(self.driver, source="inproc")
+
     def add_data_provider(self, spill=None) -> int:
         """A provider joining the running system (paper: providers may
         dynamically join)."""

@@ -118,6 +118,14 @@ class ProcessDeployment:
         """Batched-transport counters (see ThreadedDriver.transport_stats)."""
         return self.driver.transport_stats()
 
+    def metrics(self) -> dict:
+        """The unified telemetry document (``repro.metrics/1``), worker
+        actors scraped over their socketpairs via the ``telemetry``
+        control (see :mod:`repro.obs.metrics`)."""
+        from repro.obs.metrics import scrape_driver
+
+        return scrape_driver(self.driver, source="process")
+
     def close(self) -> None:
         self.driver.close()
 

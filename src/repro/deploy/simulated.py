@@ -169,6 +169,19 @@ class SimDeployment:
             "bytes_sent": self.network.bytes_sent,
         }
 
+    def metrics(self) -> dict:
+        """The unified telemetry document (``repro.metrics/1``) for a
+        finished simulation: the same per-actor/per-method quantile shape
+        the live drivers scrape, plus a ``nodes`` section re-exporting
+        the simulator's :class:`~repro.sim.trace.NodeUtilization` report.
+        Service times are *host* nanoseconds around handler bodies (hot
+        handlers), utilization is *simulated* (modelled contention)."""
+        from repro.obs.metrics import scrape_driver, sim_node_entries
+
+        doc = scrape_driver(self.executor, source="simulated")
+        doc["nodes"] = sim_node_entries(self.network)
+        return doc
+
 
 class SimClient:
     """Client facade over the simulated executor.

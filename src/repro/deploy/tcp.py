@@ -321,6 +321,30 @@ class TcpDeployment:
         """Batched-transport counters (see ThreadedDriver.transport_stats)."""
         return self.driver.transport_stats()
 
+    def workload_stats(self) -> dict:
+        """Per-actor ``(wire_rpcs, sub_calls)`` with the deployment's own
+        setup traffic (:attr:`stats_base`) subtracted — the counts the
+        *workload* generated. Telemetry/stats scrapes travel as controls
+        and are invisible to these counters, so scraping between two
+        reads of this never perturbs the difference."""
+        stats = self.driver.server_stats()
+        return {
+            a: (
+                r - self.stats_base.get(a, (0, 0))[0],
+                c - self.stats_base.get(a, (0, 0))[1],
+            )
+            for a, (r, c) in stats.items()
+        }
+
+    def metrics(self) -> dict:
+        """The cluster's unified telemetry document (``repro.metrics/1``):
+        per-actor/per-method latency histograms, error counters and slow
+        spans, scraped over the wire via the ``telemetry`` control (see
+        :mod:`repro.obs.metrics`; the CLI twin is ``repro.tools.metrics``)."""
+        from repro.obs.metrics import scrape_driver
+
+        return scrape_driver(self.driver, source="tcp")
+
     # -- elastic membership ----------------------------------------------
 
     def add_agent(

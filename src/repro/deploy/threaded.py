@@ -64,6 +64,14 @@ class ThreadedDeployment:
         """Batched-transport counters (see ThreadedDriver.transport_stats)."""
         return self.driver.transport_stats()
 
+    def metrics(self) -> dict:
+        """The unified telemetry document (``repro.metrics/1``): per-actor
+        per-method service-time quantiles plus wire counters, read from
+        the service threads' accumulators (see :mod:`repro.obs.metrics`)."""
+        from repro.obs.metrics import scrape_driver
+
+        return scrape_driver(self.driver, source="threaded")
+
     def add_data_provider(self) -> int:
         """A provider joining the running system on its own service thread
         (paper: providers may dynamically join). Mirrors

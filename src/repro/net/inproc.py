@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from repro.net.sansio import Actor, Address, Protocol, run_inproc
+from repro.obs.telemetry import telemetry_of
 
 
 class InprocDriver:
@@ -37,6 +38,16 @@ class InprocDriver:
 
     def actor(self, address: Address) -> Actor:
         return self._registry[address]
+
+    def telemetry(self, address: Address) -> dict[str, Any]:
+        """One actor's telemetry report, same shape as the concurrent
+        drivers' (this driver has no wire layer, so the wire counters are
+        ``None``)."""
+        return {
+            "wire_rpcs": None,
+            "sub_calls": None,
+            "telemetry": telemetry_of(self._registry[address]).snapshot(),
+        }
 
     def run(self, proto: Protocol[Any]) -> Any:
         """Execute a protocol to completion and return its value."""

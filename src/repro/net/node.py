@@ -45,6 +45,7 @@ from __future__ import annotations
 import queue
 import socket
 import threading
+import time
 from typing import Iterable, Mapping
 
 from repro.errors import ConfigError, RemoteError, ReproError
@@ -59,12 +60,15 @@ from repro.net.sansio import Actor, Address
 from repro.net.wire import (
     CTL_SHUTDOWN,
     CTL_STATS,
+    CTL_TELEMETRY,
     RECV_CHUNK,
     encode_reply,
     force_close,
     run_calls,
     tune_socket,
 )
+from repro.obs.telemetry import telemetry_of
+from repro.obs.trace import clear_server_context, set_server_context
 
 #: the reserved request id both handshake messages travel under
 HANDSHAKE_REQ_ID = 0
@@ -257,19 +261,38 @@ class _ActorService:
             item = self.inbox.get()
             if item is None:
                 return  # force-stop from NodeAgent.close()
-            conn, req_id, kind, payload = item
+            conn, req_id, kind, payload, trace, t_enq, nbytes = item
             if kind == "rpc":
                 self.served_rpcs += 1
                 self.served_calls += len(payload)
-                reply = encode_reply(
-                    req_id, run_calls(self.actor, self.address, payload)
+                set_server_context(
+                    trace, time.perf_counter_ns() - t_enq, nbytes
                 )
+                try:
+                    reply = encode_reply(
+                        req_id, run_calls(self.actor, self.address, payload)
+                    )
+                finally:
+                    clear_server_context()
             elif kind == CTL_STATS:
                 reply = encode_message(
                     req_id,
                     {
                         "wire_rpcs": self.served_rpcs,
                         "sub_calls": self.served_calls,
+                    },
+                )
+            elif kind == CTL_TELEMETRY:
+                # A scrape, not workload: answered in-line on the service
+                # thread (a coherent snapshot needs no locks — the
+                # accumulator's writer is this very thread) and deliberately
+                # NOT counted in served_rpcs/served_calls.
+                reply = encode_message(
+                    req_id,
+                    {
+                        "wire_rpcs": self.served_rpcs,
+                        "sub_calls": self.served_calls,
+                        "telemetry": telemetry_of(self.actor).snapshot(),
                     },
                 )
             elif kind == CTL_SHUTDOWN:
@@ -525,8 +548,15 @@ class NodeAgent:
             chunk = b""
             while True:
                 for req_id, body in decoder.feed(chunk):
-                    kind, payload = decode_body(body)
-                    service.inbox.put((conn, req_id, kind, payload))
+                    decoded = decode_body(body)
+                    # arity-tolerant: ("rpc", payload) grew an optional
+                    # trace-id third field; controls stay 2-tuples
+                    kind, payload = decoded[0], decoded[1]
+                    trace = decoded[2] if len(decoded) > 2 else None
+                    service.inbox.put(
+                        (conn, req_id, kind, payload, trace,
+                         time.perf_counter_ns(), len(body))
+                    )
                 try:
                     chunk = conn.recv(RECV_CHUNK)
                 except OSError:
@@ -601,5 +631,17 @@ class NodeAgent:
         """Per-actor ``(wire_rpcs, sub_calls)`` (in-process inspection)."""
         return {
             name: (s.served_rpcs, s.served_calls)
+            for name, s in self._services.items()
+        }
+
+    def telemetry(self) -> dict[str, dict]:
+        """Per-actor telemetry reports, same shape as the ``telemetry``
+        control answers over the wire (in-process inspection)."""
+        return {
+            name: {
+                "wire_rpcs": s.served_rpcs,
+                "sub_calls": s.served_calls,
+                "telemetry": telemetry_of(s.actor).snapshot(),
+            }
             for name, s in self._services.items()
         }

@@ -57,6 +57,7 @@ from repro.net.sansio import Actor, Address
 from repro.net.wire import (
     CTL_SHUTDOWN,
     CTL_STATS,
+    CTL_TELEMETRY,
     RECV_CHUNK,
     RemoteActorDriver,
     RpcChannel,
@@ -64,6 +65,8 @@ from repro.net.wire import (
     run_calls,
     tune_socket,
 )
+from repro.obs.telemetry import telemetry_of
+from repro.obs.trace import clear_server_context, set_server_context
 
 #: environment override for the multiprocessing start method
 START_METHOD_ENV = "REPRO_MP_START"
@@ -190,18 +193,41 @@ def _worker_main(
             if not chunk:
                 return  # parent went away: nothing left to serve
             for req_id, body in decoder.feed(chunk):
-                kind, payload = decode_body(body)
+                decoded = decode_body(body)
+                # arity-tolerant: rpc envelopes may carry a trace id
+                kind, payload = decoded[0], decoded[1]
                 if kind == "rpc":
                     served_rpcs += 1
                     served_calls += len(payload)
-                    sock.sendall(
-                        encode_reply(req_id, run_calls(actor, address, payload))
-                    )
+                    trace = decoded[2] if len(decoded) > 2 else None
+                    # queue wait is not measurable here (the pump thread
+                    # hands over whole chunks, not stamped messages)
+                    set_server_context(trace, 0, len(body))
+                    try:
+                        sock.sendall(
+                            encode_reply(
+                                req_id, run_calls(actor, address, payload)
+                            )
+                        )
+                    finally:
+                        clear_server_context()
                 elif kind == CTL_STATS:
                     sock.sendall(
                         encode_message(
                             req_id,
                             {"wire_rpcs": served_rpcs, "sub_calls": served_calls},
+                        )
+                    )
+                elif kind == CTL_TELEMETRY:
+                    # scrape control: not counted in served_rpcs/served_calls
+                    sock.sendall(
+                        encode_message(
+                            req_id,
+                            {
+                                "wire_rpcs": served_rpcs,
+                                "sub_calls": served_calls,
+                                "telemetry": telemetry_of(actor).snapshot(),
+                            },
                         )
                     )
                 elif kind == CTL_SHUTDOWN:

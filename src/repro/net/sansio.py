@@ -27,6 +27,7 @@ fail-over (e.g. reading a page replica after a provider crash).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import (
     Any,
     Generator,
@@ -41,6 +42,7 @@ from typing import (
 
 from repro.errors import RemoteError, ReproError
 from repro.net.message import estimate_size
+from repro.obs.telemetry import TELEMETRY_METHOD, telemetry_of
 
 Address = Hashable
 T = TypeVar("T")
@@ -181,11 +183,24 @@ def dispatch_call(actor: Actor, call: Call) -> Any:
 
     Returns either the handler's value or a RemoteError instance; the
     caller decides (based on ``call.allow_error``) whether to raise.
+
+    This is also where telemetry lives: every driver funnels sub-calls
+    through here, so timing the handler here measures service time the
+    same way on every deployment substrate, and intercepting the
+    ``telemetry`` mini-protocol method here makes *every* actor answer it
+    without any actor knowing about it.
     """
+    if call.method == TELEMETRY_METHOD:
+        return telemetry_of(actor).snapshot()
+    t0 = perf_counter_ns()
     try:
-        return actor.handle(call.method, call.args)
+        result = actor.handle(call.method, call.args)
+        error = False
     except Exception as exc:  # noqa: BLE001 - boundary: wrap everything
-        return RemoteError.wrap(exc)
+        result = RemoteError.wrap(exc)
+        error = True
+    telemetry_of(actor).record(call.method, perf_counter_ns() - t0, error)
+    return result
 
 
 def deliver(call: Call, result: Any) -> Any:

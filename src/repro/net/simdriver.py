@@ -74,6 +74,27 @@ class SimRpcExecutor:
     def node_of(self, address: Address) -> SimNode:
         return self._actors[address][1]
 
+    def addresses(self) -> list[Address]:
+        return list(self._actors)
+
+    def telemetry(self, address: Address) -> dict[str, Any]:
+        """One actor's telemetry report, same shape as the real drivers'.
+
+        The recorded service times are *host* nanoseconds around the
+        handler body — useful for spotting hot handlers, unrelated to
+        simulated time (which :mod:`repro.sim.trace` accounts). The wire
+        counters are executor-wide here, not per-actor, so they are
+        reported as ``None``.
+        """
+        from repro.obs.telemetry import telemetry_of
+
+        actor, _node = self._actors[address]
+        return {
+            "wire_rpcs": None,
+            "sub_calls": None,
+            "telemetry": telemetry_of(actor).snapshot(),
+        }
+
     # -- protocol execution ----------------------------------------------
 
     def run_protocol(

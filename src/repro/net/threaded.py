@@ -43,8 +43,26 @@ from repro.net.sansio import (
     plan_wire_groups,
 )
 from repro.errors import ReproError
+from repro.obs.hist import LatencyHistogram, merge_all
+from repro.obs.telemetry import telemetry_of
+from repro.obs.trace import (
+    clear_server_context,
+    current_trace,
+    set_server_context,
+)
 
 _SHUTDOWN = object()
+
+
+def dest_kind(dest: Address) -> str:
+    """Coarse destination label for caller-side RTT histograms.
+
+    Tuple addresses like ``("data", 3)`` fold to their role (``"data"``)
+    so RTT distributions aggregate per actor *kind*, not per instance.
+    """
+    if isinstance(dest, tuple) and dest and isinstance(dest[0], str):
+        return dest[0]
+    return str(dest)
 
 
 class _BatchLatch:
@@ -67,7 +85,8 @@ class _BatchLatch:
     """
 
     __slots__ = (
-        "_cond", "_pending", "_gen", "owner", "batches", "submissions", "wakeups"
+        "_cond", "_pending", "_gen", "owner", "batches", "submissions",
+        "wakeups", "rtt",
     )
 
     def __init__(self) -> None:
@@ -78,6 +97,14 @@ class _BatchLatch:
         self.batches = 0  # batches executed by the owning thread
         self.submissions = 0  # inbox items enqueued (== wire RPCs issued)
         self.wakeups = 0  # condition notifies (≤ 1 per batch)
+        # per-destination-kind round-trip histograms (single writer: owner)
+        self.rtt: dict[str, LatencyHistogram] = {}
+
+    def record_rtt(self, kind: str, rtt_ns: int) -> None:
+        hist = self.rtt.get(kind)
+        if hist is None:
+            hist = self.rtt[kind] = LatencyHistogram()
+        hist.record(rtt_ns)
 
     def begin(self, n_groups: int) -> int:
         """Arm for a new batch; returns the batch's generation stamp."""
@@ -125,12 +152,16 @@ class _ServerThread:
             item = self.inbox.get()
             if item is _SHUTDOWN:
                 return
-            calls, indices, results, latch, gen = item
+            calls, indices, results, latch, gen, trace, t_enq = item
             # One inbox item == one wire RPC carrying aggregated sub-calls.
             self.served_rpcs += 1
             self.served_calls += len(calls)
-            for call, index in zip(calls, indices):
-                results[index] = dispatch_call(self.actor, call)
+            set_server_context(trace, time.perf_counter_ns() - t_enq, 0)
+            try:
+                for call, index in zip(calls, indices):
+                    results[index] = dispatch_call(self.actor, call)
+            finally:
+                clear_server_context()
             latch.group_done(gen)
 
     def stop(self) -> None:
@@ -149,6 +180,7 @@ class ThreadedDriver:
         self._latches: list[_BatchLatch] = []
         # counters folded in from latches of retired caller threads
         self._retired_stats = [0, 0, 0]
+        self._retired_rtt: dict[str, LatencyHistogram] = {}
         for address, actor in (registry or {}).items():
             self.register(address, actor)
 
@@ -199,6 +231,40 @@ class ThreadedDriver:
             "completion_wakeups": totals[2],
         }
 
+    def caller_rtt(self) -> dict[str, LatencyHistogram]:
+        """Per-destination-kind wire-RPC round-trip histograms, merged
+        across every caller thread this driver has served (including
+        retired ones). The returned histograms are fresh merges — safe to
+        mutate."""
+        with self._lock:
+            latches = list(self._latches)
+            merged = {
+                kind: merge_all([hist])
+                for kind, hist in self._retired_rtt.items()
+            }
+        for latch in latches:
+            for kind, hist in latch.rtt.items():
+                if kind in merged:
+                    merged[kind].merge(hist)
+                else:
+                    merged[kind] = merge_all([hist])
+        return merged
+
+    def telemetry(self, address: Address) -> dict[str, Any]:
+        """One actor's telemetry report: wire counters + service-time
+        snapshot, same shape as the remote drivers' ``telemetry`` control
+        (the scrape does not touch the actor's service queue, so it never
+        perturbs the wire counters)."""
+        with self._lock:
+            server = self._servers.get(address)
+        if server is None:
+            raise KeyError(f"no actor registered at address {address!r}")
+        return {
+            "wire_rpcs": server.served_rpcs,
+            "sub_calls": server.served_calls,
+            "telemetry": telemetry_of(server.actor).snapshot(),
+        }
+
     def _latch(self) -> _BatchLatch:
         latch = getattr(self._tls, "latch", None)
         if latch is None:
@@ -217,6 +283,13 @@ class ThreadedDriver:
                         self._retired_stats[0] += b
                         self._retired_stats[1] += s
                         self._retired_stats[2] += w
+                        for kind, hist in old.rtt.items():
+                            merged = self._retired_rtt.get(kind)
+                            if merged is None:
+                                merged = self._retired_rtt[kind] = (
+                                    LatencyHistogram()
+                                )
+                            merged.merge(hist)
                 alive.append(latch)
                 self._latches = alive
         return latch
@@ -264,9 +337,18 @@ class ThreadedDriver:
         results: list[Any] = [None] * len(calls)
         latch = self._latch()
         gen = latch.begin(len(groups))
+        trace = current_trace()
+        t_enq = time.perf_counter_ns()
         for server, group in zip(resolved, groups):
-            server.inbox.put((group.calls, group.indices, results, latch, gen))
+            server.inbox.put(
+                (group.calls, group.indices, results, latch, gen, trace, t_enq)
+            )
         latch.wait()
+        # One RTT sample per wire RPC; the batch completes as a unit, so
+        # every group in it shares the batch round-trip time.
+        rtt_ns = time.perf_counter_ns() - t_enq
+        for group in groups:
+            latch.record_rtt(dest_kind(group.dest), rtt_ns)
         return [deliver(c, r) for c, r in zip(calls, results)]
 
     def spawn(self, proto: Protocol[Any]) -> "ProtocolFuture":

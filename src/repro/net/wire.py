@@ -46,6 +46,7 @@ import itertools
 import queue
 import socket
 import threading
+import time
 from typing import Any, Callable, Mapping
 
 from repro.errors import RemoteError
@@ -65,7 +66,8 @@ from repro.net.sansio import (
     dispatch_call,
     plan_wire_groups,
 )
-from repro.net.threaded import ThreadedDriver, _BatchLatch
+from repro.net.threaded import ThreadedDriver, _BatchLatch, dest_kind
+from repro.obs.trace import current_trace
 
 #: socket receive chunk: large enough to drain several page-sized messages
 #: per syscall when replies queue up
@@ -75,9 +77,12 @@ RECV_CHUNK = 1 << 20
 #: in one non-blocking sendall even while the peer is mid-computation
 SOCK_BUF = 1 << 20
 
-#: control message kinds understood by worker/agent service loops
+#: control message kinds understood by worker/agent service loops.
+#: Controls are *not* counted as wire RPCs by either side, so a stats or
+#: telemetry scrape never perturbs workload counter assertions.
 CTL_STATS = "stats"
 CTL_SHUTDOWN = "shutdown"
+CTL_TELEMETRY = "telemetry"
 
 
 def force_close(sock: socket.socket) -> None:
@@ -267,8 +272,13 @@ class RpcChannel:
             slot[0] = RemoteError(self._error_label, reason)
             latch.group_done(gen)
             return
+        # Trace propagation: the envelope grows an optional third field
+        # only while the calling thread has a trace open — with none, the
+        # frame is bit-identical to the historical 2-tuple form.
+        trace = current_trace()
+        envelope = ("rpc", payload) if trace is None else ("rpc", payload, trace)
         try:
-            frame = encode_message(req_id, ("rpc", payload))
+            frame = encode_message(req_id, envelope)
         except WireCodecError as exc:
             # the *request* is unpicklable: that call is broken, not the
             # peer. Complete the group only if the entry is still ours —
@@ -386,6 +396,17 @@ class RemoteActorDriver(ThreadedDriver):
             stats[address] = (reply["wire_rpcs"], reply["sub_calls"])
         return stats
 
+    def telemetry(self, address: Address) -> dict[str, Any]:
+        """One actor's telemetry report (wire counters + service-time
+        snapshot), queried over the wire as a *control* for remote actors
+        — controls are not counted as wire RPCs, so scraping is invisible
+        to the workload counters."""
+        with self._lock:
+            remote = self._remotes.get(address)
+        if remote is None:
+            return super().telemetry(address)
+        return remote.control(CTL_TELEMETRY)
+
     def call(self, address: Address, method: str, args: tuple = ()) -> Any:
         """One-off RPC outside any protocol (inspection surfaces)."""
 
@@ -417,6 +438,8 @@ class RemoteActorDriver(ThreadedDriver):
         results: list[Any] = [None] * len(calls)
         latch = self._latch()
         gen = latch.begin(len(groups))
+        trace = current_trace()
+        t_enq = time.perf_counter_ns()
         slots: list[list | None] = [None] * len(groups)
         for k, ((remote, server), group) in enumerate(zip(resolved, groups)):
             if remote is not None:
@@ -424,8 +447,14 @@ class RemoteActorDriver(ThreadedDriver):
                 slots[k] = slot
                 remote.submit(group, slot, latch, gen)
             else:
-                server.inbox.put((group.calls, group.indices, results, latch, gen))
+                server.inbox.put(
+                    (group.calls, group.indices, results, latch, gen,
+                     trace, t_enq)
+                )
         latch.wait()
+        rtt_ns = time.perf_counter_ns() - t_enq
+        for group in groups:
+            latch.record_rtt(dest_kind(group.dest), rtt_ns)
         # Decode remote replies on *this* thread: the receiver threads only
         # routed raw bodies, so payload unpickling happens in the caller
         # that asked for the data, concurrent across caller threads.

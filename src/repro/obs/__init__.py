@@ -1,0 +1,60 @@
+"""Cluster-wide telemetry: latency histograms, traces, unified metrics.
+
+The measurement layer every driver shares. The live drivers expose only
+integer wire-RPC counters, and per-node utilization tracing exists solely
+in the simulator — this package is the missing half: *time*, measured the
+same way on every deployment substrate, cheap enough to stay default-on.
+
+Three small pieces, threaded through the RPC dispatch point that every
+driver already funnels through (:func:`repro.net.sansio.dispatch_call`):
+
+- :mod:`repro.obs.hist` — a mergeable log-bucketed latency histogram
+  (fixed int-array buckets, ≤ 1/16 relative error, compact wire form).
+  One per actor per method records service time; one per caller thread
+  per destination kind records round-trip time.
+- :mod:`repro.obs.trace` — trace-context propagation: a trace id carried
+  in the RPC envelope from client batch to the serving actor, plus the
+  server-side context (queue wait vs service split, request bytes) that
+  the slow-RPC ring log samples from.
+- :mod:`repro.obs.telemetry` — the per-actor accumulator behind
+  ``dispatch_call`` and the ``telemetry`` mini-protocol RPC every actor
+  answers; :mod:`repro.obs.metrics` assembles scraped snapshots into the
+  unified schema ``repro.tools.metrics`` prints (and the simulator's
+  :class:`~repro.sim.trace.NodeUtilization` is re-exported through).
+
+Logging: telemetry events (slow spans) go to the ``repro.obs`` logger;
+:func:`repro.obs.logconfig.configure_logging` installs one stderr handler
+on the documented ``repro.*`` hierarchy (``repro.vm``, ``repro.pm``,
+``repro.journal``, ``repro.obs``) for programmatic embedders — the node
+CLI calls it, a library user may too.
+
+Overhead: two ``perf_counter_ns`` reads plus one histogram increment per
+sub-call (~1 µs); set ``REPRO_OBS=0`` to disable recording entirely.
+"""
+
+from repro.obs.hist import LatencyHistogram
+from repro.obs.logconfig import configure_logging
+from repro.obs.metrics import METRICS_SCHEMA, reconcile, render_metrics
+from repro.obs.telemetry import (
+    ActorTelemetry,
+    TELEMETRY_METHOD,
+    telemetry_enabled,
+    telemetry_of,
+)
+from repro.obs.trace import current_trace, end_trace, new_trace_id, start_trace
+
+__all__ = [
+    "ActorTelemetry",
+    "LatencyHistogram",
+    "METRICS_SCHEMA",
+    "TELEMETRY_METHOD",
+    "configure_logging",
+    "current_trace",
+    "end_trace",
+    "new_trace_id",
+    "reconcile",
+    "render_metrics",
+    "start_trace",
+    "telemetry_enabled",
+    "telemetry_of",
+]

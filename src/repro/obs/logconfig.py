@@ -1,0 +1,67 @@
+"""The documented ``repro.*`` logger hierarchy and its one-call setup.
+
+Every operator-relevant event in the system is emitted through a named
+logger under the ``repro`` root:
+
+- ``repro.vm`` — version-manager recovery summaries (INFO);
+- ``repro.pm`` — provider-manager recovery and migration-plan journal
+  replays (INFO);
+- ``repro.journal`` — torn-tail truncations and snapshot compaction
+  warnings (WARNING);
+- ``repro.obs`` — telemetry events: slow-RPC spans (DEBUG; the ring
+  buffer is the primary record, the log line is for live tailing).
+
+A *process* that embeds these modules decides where the records go.
+The node-agent CLI (``python -m repro.tools.node``) calls
+:func:`configure_logging` so every launched agent writes the hierarchy
+to stderr; a program that constructs :class:`~repro.net.node.NodeAgent`
+(or any deployment) directly gets the same behavior with one call::
+
+    import repro.obs
+    repro.obs.configure_logging()          # INFO and up, stderr
+
+Without it, Python's last-resort handler still surfaces WARNING and
+above (torn tails are never silent), but recovery INFO lines are
+dropped — which is why embedders should call this.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+#: the root of the documented hierarchy
+ROOT_LOGGER = "repro"
+
+#: marker attribute identifying the handler this module installed
+_MARKER = "_repro_obs_handler"
+
+
+def configure_logging(
+    level: int | str = logging.INFO, stream: IO[str] | None = None
+) -> logging.Logger:
+    """Install one stderr (or ``stream``) handler on the ``repro`` root.
+
+    Idempotent: calling again reconfigures the existing handler's level
+    and stream instead of stacking duplicates, so libraries and CLIs may
+    both call it safely. Returns the configured root logger. stdout is
+    never touched (the node CLI reserves it for the READY line).
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    handler = None
+    for existing in root.handlers:
+        if getattr(existing, _MARKER, False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        setattr(handler, _MARKER, True)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    root.setLevel(level)
+    return root

@@ -1,0 +1,190 @@
+"""The unified metrics schema: one scrape shape for sim and real runs.
+
+Every scrape surface — the ``repro.tools.metrics`` CLI against a live
+TCP cluster, ``inspect --metrics`` on an in-process deployment,
+``SimDeployment.metrics()`` on a finished simulation — assembles the
+same JSON-safe document::
+
+    {
+      "schema": "repro.metrics/1",
+      "source": "tcp" | "inproc" | "threaded" | "process" | "simulated",
+      "actors": {
+        "data/0": {
+          "wire_rpcs": 123, "sub_calls": 456, "calls": 456,
+          "methods": {
+            "data.put_page": {"count": ..., "errors": ...,
+                              "mean_ms": ..., "p50_ms": ..., "p95_ms": ...,
+                              "p99_ms": ..., "max_ms": ...},
+            ...
+          },
+          "slow": [{"trace": ..., "method": ..., "queue_ms": ...,
+                    "service_ms": ..., "bytes": ..., "error": ...}, ...],
+          "slow_seen": 2, "slow_threshold_ms": 100.0
+        }, ...
+      },
+      "nodes": {  # simulated runs only: NodeUtilization, re-exported
+        "client-0": {"role": "client", "cpu": 0.42, "tx": 0.1, "rx": 0.3},
+        ...
+      }
+    }
+
+Reconciliation invariant (pinned by ``tests/test_telemetry.py`` and the
+CLI's ``--check``): for every actor, the sum of per-method histogram
+counts equals the ``sub_calls`` wire counter — the histograms and the
+counters observe the same dispatch point, so a scrape that cannot
+reconcile means lost samples, not workload noise. (``telemetry``/
+``stats`` *controls* are invisible to both sides, which is what keeps
+scraping from perturbing workload-only counter assertions.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.net.address import format_actor
+from repro.obs.hist import LatencyHistogram
+
+METRICS_SCHEMA = "repro.metrics/1"
+
+#: quantiles every method row carries, as (key, p) pairs
+QUANTILES = (("p50_ms", 0.50), ("p95_ms", 0.95), ("p99_ms", 0.99))
+
+
+def method_row(wire_hist: tuple, errors: int = 0) -> dict[str, Any]:
+    """One method's stats row from a histogram wire form."""
+    hist = LatencyHistogram.from_wire(wire_hist)
+    row: dict[str, Any] = {
+        "count": hist.count,
+        "errors": errors,
+        "mean_ms": hist.mean / 1e6,
+    }
+    for key, p in QUANTILES:
+        row[key] = hist.quantile(p) / 1e6
+    row["max_ms"] = hist.max / 1e6
+    return row
+
+
+def span_row(span: tuple) -> dict[str, Any]:
+    """One slow span as a JSON-safe dict."""
+    trace_id, method, queue_ns, service_ns, nbytes, error = span
+    return {
+        "trace": trace_id,
+        "method": method,
+        "queue_ms": queue_ns / 1e6,
+        "service_ms": service_ns / 1e6,
+        "bytes": nbytes,
+        "error": bool(error),
+    }
+
+
+def actor_entry(report: Mapping[str, Any]) -> dict[str, Any]:
+    """One actor's metrics entry from a driver ``telemetry()`` report
+    (``{"wire_rpcs", "sub_calls", "telemetry": snapshot}``)."""
+    snapshot = report.get("telemetry") or {}
+    errors = snapshot.get("errors", {})
+    methods = {
+        m: method_row(wire, errors.get(m, 0))
+        for m, wire in sorted(snapshot.get("methods", {}).items())
+    }
+    return {
+        "wire_rpcs": report.get("wire_rpcs"),
+        "sub_calls": report.get("sub_calls"),
+        "calls": sum(row["count"] for row in methods.values()),
+        "methods": methods,
+        "slow": [span_row(s) for s in snapshot.get("slow", ())],
+        "slow_seen": snapshot.get("slow_seen", 0),
+        "slow_threshold_ms": snapshot.get("slow_threshold_ms"),
+    }
+
+
+def scrape_driver(
+    driver: Any, addresses: list | None = None, source: str = "live"
+) -> dict[str, Any]:
+    """Scrape every actor of a driver exposing ``telemetry(address)``."""
+    if addresses is None:
+        addresses = driver.addresses()
+    actors = {}
+    for address in addresses:
+        actors[format_actor(address)] = actor_entry(driver.telemetry(address))
+    return {"schema": METRICS_SCHEMA, "source": source, "actors": actors}
+
+
+def sim_node_entries(network: Any) -> dict[str, Any]:
+    """The simulator's per-node utilization in the unified schema.
+
+    Re-exports :func:`repro.sim.trace.utilization_report` so sim and
+    real scrapes read identically (real runs simply have no ``nodes``).
+    """
+    from repro.sim.trace import utilization_report
+
+    return {
+        u.name: {"role": u.role, "cpu": u.cpu, "tx": u.tx, "rx": u.rx}
+        for u in utilization_report(network)
+    }
+
+
+def reconcile(metrics: Mapping[str, Any]) -> list[str]:
+    """Check the histogram-vs-counter invariant; returns problem strings
+    (empty = every actor reconciles). Actors scraped without wire
+    counters (``sub_calls`` None, e.g. inproc) are skipped."""
+    problems = []
+    for name, entry in metrics.get("actors", {}).items():
+        sub_calls = entry.get("sub_calls")
+        if sub_calls is None:
+            continue
+        if entry.get("calls") != sub_calls:
+            problems.append(
+                f"{name}: {entry.get('calls')} histogram samples vs "
+                f"{sub_calls} sub_calls served"
+            )
+    return problems
+
+
+def render_metrics(metrics: Mapping[str, Any], slow_limit: int = 8) -> str:
+    """Plain-text per-actor/per-method quantile table."""
+    lines = [f"cluster metrics ({metrics.get('source', '?')}):"]
+    header = (
+        f"  {'actor':<10} {'method':<22} {'count':>8} {'err':>5} "
+        f"{'mean':>9} {'p50':>9} {'p95':>9} {'p99':>9} {'max':>9}"
+    )
+    lines.append(header + "  (ms)")
+    for name in sorted(metrics.get("actors", {})):
+        entry = metrics["actors"][name]
+        for method, row in entry.get("methods", {}).items():
+            lines.append(
+                f"  {name:<10} {method:<22} {row['count']:>8} "
+                f"{row['errors']:>5} {row['mean_ms']:>9.3f} "
+                f"{row['p50_ms']:>9.3f} {row['p95_ms']:>9.3f} "
+                f"{row['p99_ms']:>9.3f} {row['max_ms']:>9.3f}"
+            )
+        if entry.get("wire_rpcs") is not None:
+            lines.append(
+                f"  {name:<10} {'(wire)':<22} {entry['wire_rpcs']:>8} rpcs, "
+                f"{entry['sub_calls']} sub-calls"
+            )
+    spans = [
+        (name, span)
+        for name in sorted(metrics.get("actors", {}))
+        for span in metrics["actors"][name].get("slow", ())
+    ]
+    if spans:
+        spans.sort(
+            key=lambda ns: ns[1]["queue_ms"] + ns[1]["service_ms"], reverse=True
+        )
+        lines.append(f"  slow spans (worst {min(slow_limit, len(spans))}):")
+        for name, span in spans[:slow_limit]:
+            lines.append(
+                f"    {name:<10} {span['method']:<22} "
+                f"queue {span['queue_ms']:.3f}ms + "
+                f"service {span['service_ms']:.3f}ms "
+                f"({span['bytes']} B, trace {span['trace']})"
+            )
+    if metrics.get("nodes"):
+        lines.append("  node utilization (simulated):")
+        for name in sorted(metrics["nodes"]):
+            u = metrics["nodes"][name]
+            lines.append(
+                f"    {name:<14} {u['role']:<7} cpu {u['cpu']:>6.1%} "
+                f"tx {u['tx']:>6.1%} rx {u['rx']:>6.1%}"
+            )
+    return "\n".join(lines)

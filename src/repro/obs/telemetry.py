@@ -1,0 +1,171 @@
+"""Per-actor telemetry: method histograms, counters, slow-span ring.
+
+One :class:`ActorTelemetry` rides on every actor object
+(:func:`telemetry_of` attaches it lazily at the first dispatched call).
+Because every driver confines an actor to a single service thread, the
+accumulator is strictly single-writer — no locks anywhere on the record
+path, which is what keeps telemetry cheap enough to stay default-on.
+
+What it holds:
+
+- a :class:`~repro.obs.hist.LatencyHistogram` per method (service time,
+  nanoseconds, measured around ``actor.handle`` by
+  :func:`repro.net.sansio.dispatch_call`);
+- an error counter per method (handler exceptions, i.e. results that
+  became :class:`~repro.errors.RemoteError`);
+- a fixed-size ring of **slow spans**: any sub-call whose queue wait +
+  service time crosses the threshold (``REPRO_OBS_SLOW_MS``, default
+  100 ms) is sampled with its trace id, method, request bytes and the
+  queue-vs-service split — the on-node flight recorder the metrics
+  scrape surfaces.
+
+The ``telemetry`` mini-protocol RPC: ``dispatch_call`` intercepts the
+method name ``telemetry`` before the actor's own ``handle`` sees it, so
+*every* actor — data, meta, vm, pm, and anything a test registers —
+answers it on every driver, returning :meth:`ActorTelemetry.snapshot`
+(plain picklable containers, histograms in wire form).
+
+``REPRO_OBS=0`` disables recording process-wide (snapshots then report
+empty); the flag is read once at import.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Any
+
+from repro.obs.hist import LatencyHistogram
+from repro.obs.trace import server_context
+
+logger = logging.getLogger("repro.obs")
+
+#: the mini-protocol method name every actor answers (intercepted in
+#: dispatch_call, never forwarded to the actor's own handle)
+TELEMETRY_METHOD = "telemetry"
+
+#: snapshot schema tag (bump when the snapshot layout changes)
+SNAPSHOT_SCHEMA = "repro.obs/1"
+
+#: slow-span threshold, milliseconds (queue wait + service time)
+SLOW_MS_ENV = "REPRO_OBS_SLOW_MS"
+DEFAULT_SLOW_MS = 100.0
+
+#: slow spans kept per actor (ring buffer; older spans are overwritten)
+SLOW_RING_SIZE = 64
+
+_ENABLED = os.environ.get("REPRO_OBS", "1") != "0"
+
+
+def telemetry_enabled() -> bool:
+    """Whether recording is on (``REPRO_OBS`` != 0, read at import)."""
+    return _ENABLED
+
+
+def _slow_threshold_ns() -> int:
+    try:
+        ms = float(os.environ.get(SLOW_MS_ENV, DEFAULT_SLOW_MS))
+    except ValueError:
+        ms = DEFAULT_SLOW_MS
+    return int(ms * 1e6)
+
+
+class ActorTelemetry:
+    """Single-writer telemetry accumulator for one actor.
+
+    The writer is whichever thread serves the actor (exactly one, by the
+    drivers' confinement invariant); any thread may call
+    :meth:`snapshot` — counters only grow, so a concurrent snapshot is
+    at worst slightly stale.
+    """
+
+    __slots__ = ("hists", "errors", "slow", "slow_seen", "slow_threshold_ns")
+
+    def __init__(self, slow_threshold_ns: int | None = None) -> None:
+        self.hists: dict[str, LatencyHistogram] = {}
+        self.errors: dict[str, int] = {}
+        self.slow: list[tuple] = []
+        self.slow_seen = 0
+        self.slow_threshold_ns = (
+            _slow_threshold_ns() if slow_threshold_ns is None else slow_threshold_ns
+        )
+
+    def record(self, method: str, service_ns: int, error: bool) -> None:
+        """Record one served sub-call (called from dispatch_call)."""
+        hist = self.hists.get(method)
+        if hist is None:
+            hist = self.hists[method] = LatencyHistogram()
+        hist.record(service_ns)
+        if error:
+            self.errors[method] = self.errors.get(method, 0) + 1
+        trace_id, queue_ns, nbytes = server_context()
+        if service_ns + queue_ns >= self.slow_threshold_ns:
+            self._record_slow(
+                (trace_id, method, queue_ns, service_ns, nbytes, error)
+            )
+
+    def _record_slow(self, span: tuple) -> None:
+        if len(self.slow) < SLOW_RING_SIZE:
+            self.slow.append(span)
+        else:
+            self.slow[self.slow_seen % SLOW_RING_SIZE] = span
+        self.slow_seen += 1
+        if logger.isEnabledFor(logging.DEBUG):
+            trace_id, method, queue_ns, service_ns, nbytes, error = span
+            logger.debug(
+                "slow span: method=%s trace=%s queue=%.3fms service=%.3fms "
+                "bytes=%d error=%s",
+                method, trace_id, queue_ns / 1e6, service_ns / 1e6, nbytes,
+                error,
+            )
+
+    @property
+    def total_calls(self) -> int:
+        """Sub-calls recorded across all methods."""
+        return sum(h.count for h in self.hists.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        """Wire-safe snapshot: histograms in compact wire form, spans as
+        plain tuples. This is the ``telemetry`` RPC's reply."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "enabled": _ENABLED,
+            "methods": {m: h.to_wire() for m, h in self.hists.items()},
+            "errors": dict(self.errors),
+            "slow": list(self.slow),
+            "slow_seen": self.slow_seen,
+            "slow_threshold_ms": self.slow_threshold_ns / 1e6,
+        }
+
+
+class _DisabledTelemetry(ActorTelemetry):
+    """Shared no-op accumulator for actors that refuse attributes (or
+    when ``REPRO_OBS=0``): recording drops, snapshots stay empty."""
+
+    def record(self, method: str, service_ns: int, error: bool) -> None:
+        pass
+
+
+DISABLED = _DisabledTelemetry(slow_threshold_ns=1 << 62)
+
+#: attribute name the accumulator rides on (one per actor object)
+_ATTR = "_obs_telemetry"
+
+
+def telemetry_of(actor: Any) -> ActorTelemetry:
+    """The actor's telemetry accumulator, attached lazily.
+
+    Actors that cannot take attributes (``__slots__``, frozen) get the
+    shared no-op accumulator — telemetry silently off for them rather
+    than a dispatch-path failure.
+    """
+    tele = getattr(actor, _ATTR, None)
+    if tele is None:
+        if not _ENABLED:
+            return DISABLED
+        tele = ActorTelemetry()
+        try:
+            setattr(actor, _ATTR, tele)
+        except (AttributeError, TypeError):
+            return DISABLED
+    return tele

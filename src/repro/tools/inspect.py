@@ -50,6 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
         "for diagnosing a wedged publish chain (see docs/OPERATIONS.md)",
     )
     parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the telemetry quantile table (per-actor/per-method "
+        "service-time p50/p95/p99) recorded while the write history ran "
+        "— the same repro.metrics/1 view repro.tools.metrics scrapes "
+        "from a live cluster (see 'Observability' in docs/OPERATIONS.md)",
+    )
+    parser.add_argument(
         "--rebalance",
         action="store_true",
         help="elastic-membership view: run the write history on the "
@@ -160,6 +168,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.rebalance:
         show_rebalance(dep)
+
+    if args.metrics:
+        from repro.obs.metrics import render_metrics, scrape_driver
+
+        print()
+        print(render_metrics(scrape_driver(dep.driver, source="inproc")))
 
     if args.diff:
         v1, v2 = args.diff

@@ -1,0 +1,127 @@
+"""``python -m repro.tools.metrics`` — scrape a live cluster's telemetry.
+
+Dials every actor of a running TCP cluster (the same ``ClusterMap``
+endpoint grammar the other tools use), round-trips the ``telemetry``
+control on each, and prints the unified per-actor/per-method quantile
+table (or the raw ``repro.metrics/1`` document with ``--json``). The
+scrape is **read-only and invisible**: telemetry travels as a control
+message, which neither side counts as a wire RPC, and the driver hangs
+up with ``abort()`` — the operator's agents keep serving::
+
+    # table against a 2-node loopback cluster
+    python -m repro.tools.metrics \\
+        --endpoints '{"data/0": "127.0.0.1:7000", "meta/0": "127.0.0.1:7000",
+                      "data/1": "127.0.0.1:7001", "meta/1": "127.0.0.1:7001"}'
+
+    # machine-readable, endpoints from a file, with the reconciliation
+    # check (per-method histogram counts must equal served sub-calls)
+    python -m repro.tools.metrics --endpoints @cluster.json --json --check
+
+``main(argv)`` is a plain function, unit-testable without a subprocess.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import RemoteError, ReproError
+from repro.net.address import ClusterMap
+from repro.net.tcp import TcpDriver
+from repro.obs.metrics import reconcile, render_metrics, scrape_driver
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.metrics",
+        description="Scrape per-RPC latency telemetry from a live cluster.",
+    )
+    parser.add_argument(
+        "--endpoints",
+        required=True,
+        metavar="JSON",
+        help="actor-to-endpoint map, e.g. '{\"data/0\": \"host:7000\"}'; "
+        "@FILE (or a bare path to a .json file) reads the map from disk",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the raw repro.metrics/1 document instead of the table",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the reconciliation invariant (histogram sample totals "
+        "== served sub-calls per actor); exit 1 if any actor disagrees",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="connect/scrape timeout per peer, seconds (default: 5)",
+    )
+    parser.add_argument(
+        "--slow",
+        type=int,
+        default=8,
+        metavar="N",
+        help="slow spans shown in the table (default: 8)",
+    )
+    return parser
+
+
+def load_endpoints(spec: str) -> dict[str, str]:
+    """Parse the ``--endpoints`` argument: inline JSON, ``@FILE``, or a
+    bare path ending in ``.json``."""
+    if spec.startswith("@"):
+        spec = open(spec[1:]).read()
+    elif spec.endswith(".json"):
+        spec = open(spec).read()
+    endpoints = json.loads(spec)
+    if not isinstance(endpoints, dict) or not endpoints:
+        raise ValueError(f"--endpoints must be a non-empty JSON object")
+    return endpoints
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        cluster_map = ClusterMap.from_spec(load_endpoints(args.endpoints))
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    driver = TcpDriver(connect_timeout=args.timeout)
+    try:
+        driver.register_map(cluster_map)
+        try:
+            driver.wait_connected(timeout=args.timeout)
+            metrics = scrape_driver(driver, source="tcp")
+        except (TimeoutError, RemoteError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    finally:
+        # hang up without shutdown controls: scraping an operator's
+        # cluster must never stop it
+        driver.abort()
+    if args.as_json:
+        json.dump(metrics, sys.stdout, indent=2)
+        print()
+    else:
+        print(render_metrics(metrics, slow_limit=args.slow))
+    if args.check:
+        problems = reconcile(metrics)
+        for problem in problems:
+            print(f"reconcile: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"reconcile: OK ({len(metrics['actors'])} actor(s))",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

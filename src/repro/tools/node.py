@@ -39,6 +39,7 @@ import sys
 
 from repro.errors import ConfigError
 from repro.net.node import NodeAgent, build_actor
+from repro.obs.logconfig import configure_logging
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,14 +138,14 @@ def main(argv: list[str] | None = None) -> int:
         print("error: at least one --actor is required", file=sys.stderr)
         return 2
     # Surface the repro loggers on stderr: recovery summaries (INFO on
-    # repro.vm / repro.pm) and torn-tail truncations (WARNING on
-    # repro.journal) are operator signals — without a handler Python
-    # drops everything below WARNING. stdout stays reserved for READY.
-    logging.basicConfig(
-        level=logging.INFO,
-        format="%(levelname)s %(name)s: %(message)s",
-        stream=sys.stderr,
-    )
+    # repro.vm / repro.pm), torn-tail truncations (WARNING on
+    # repro.journal) and slow-span telemetry (DEBUG on repro.obs) are
+    # operator signals — without a handler Python drops everything below
+    # WARNING. The handler goes on the "repro" root only (never the
+    # global root, so an embedding program's logging config is untouched)
+    # and stdout stays reserved for READY. Programmatic NodeAgent users
+    # get the same behavior with one repro.obs.configure_logging() call.
+    configure_logging(logging.INFO)
     lock = None
     try:
         if args.state_dir is not None:

@@ -1,0 +1,193 @@
+"""The latency histogram: bucket scheme, quantile bounds, merge, wire form.
+
+The histogram is the recording primitive under every telemetry surface,
+so its numeric contract is pinned tightly here:
+
+- every value lands inside its bucket's inclusive bounds, and the
+  buckets tile ``[0, 2**64)`` with no gaps or overlaps;
+- ``quantile(p)`` never undershoots a sorted-sample oracle and
+  overshoots by at most the bucket width (1/16 relative above 16);
+- ``merge`` is associative and commutative (histograms fold across
+  actors, nodes and scrape rounds in any order);
+- the compact wire form pickles and round-trips equal.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.obs.hist import (
+    NUM_BUCKETS,
+    SUBBUCKETS,
+    LatencyHistogram,
+    bucket_bounds,
+    bucket_index,
+    merge_all,
+)
+
+
+def oracle(samples: list[int], p: float) -> int:
+    """Nearest-rank quantile on the exact sorted samples."""
+    ss = sorted(samples)
+    rank = min(len(ss), max(1, math.ceil(p * len(ss) - 1e-9)))
+    return ss[rank - 1]
+
+
+class TestBuckets:
+    def test_values_land_inside_their_bucket(self):
+        values = list(range(0, 4 * SUBBUCKETS * SUBBUCKETS))
+        rng = random.Random(7)
+        values += [rng.getrandbits(k) for k in range(5, 64) for _ in range(50)]
+        for v in values:
+            lo, hi = bucket_bounds(bucket_index(v))
+            assert lo <= v <= hi, f"value {v} outside bucket [{lo}, {hi}]"
+
+    def test_buckets_tile_without_gaps_or_overlaps(self):
+        prev_hi = -1
+        for index in range(NUM_BUCKETS):
+            lo, hi = bucket_bounds(index)
+            assert lo == prev_hi + 1
+            assert hi >= lo
+            prev_hi = hi
+        assert prev_hi >= (1 << 64) - 1  # full uint64 nanosecond range
+
+    def test_small_values_are_exact(self):
+        for v in range(SUBBUCKETS):
+            assert bucket_bounds(bucket_index(v)) == (v, v)
+
+    def test_bucket_relative_width_bounded(self):
+        for index in range(SUBBUCKETS, NUM_BUCKETS):
+            lo, hi = bucket_bounds(index)
+            assert (hi - lo + 1) / lo <= 1 / SUBBUCKETS + 1e-12
+
+    def test_huge_values_clamp_to_last_bucket(self):
+        assert bucket_index(1 << 70) == NUM_BUCKETS - 1
+        assert bucket_index((1 << 64) - 1) == NUM_BUCKETS - 1
+
+
+class TestQuantiles:
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.quantile(0.5) == 0
+        assert hist.quantile(1.0) == 0
+        assert hist.mean == 0.0
+
+    def test_single_sample_every_quantile_is_it(self):
+        hist = LatencyHistogram()
+        hist.record(14_321)
+        for p in (0.0, 0.01, 0.5, 0.99, 1.0):
+            q = hist.quantile(p)
+            assert 14_321 <= q <= 14_321 * (1 + 1 / SUBBUCKETS)
+        assert hist.quantile(0.0) == hist.min == 14_321
+        assert hist.max == 14_321
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_quantiles_bound_the_sorted_sample_oracle(self, seed):
+        rng = random.Random(seed)
+        samples = [
+            rng.randrange(0, 10 ** rng.randrange(1, 10))
+            for _ in range(rng.randrange(1, 600))
+        ]
+        hist = LatencyHistogram()
+        for s in samples:
+            hist.record(s)
+        for p in (0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+            exact = oracle(samples, p)
+            q = hist.quantile(p)
+            assert q >= exact, f"p={p}: {q} undershoots oracle {exact}"
+            # overshoot bounded by the bucket width (exact below 16)
+            assert q <= max(exact * (1 + 1 / SUBBUCKETS), exact + 1)
+
+    def test_negative_samples_clamp_to_zero(self):
+        hist = LatencyHistogram()
+        hist.record(-5)
+        assert hist.count == 1
+        assert hist.min == 0
+        assert hist.quantile(0.5) == 0
+
+    def test_p100_never_exceeds_recorded_max(self):
+        hist = LatencyHistogram()
+        for v in (100, 1000, 99_999):
+            hist.record(v)
+        assert hist.quantile(1.0) <= hist.max == 99_999
+
+    def test_mean_is_exact_not_bucketed(self):
+        hist = LatencyHistogram()
+        for v in (1, 2, 1000):
+            hist.record(v)
+        assert hist.mean == pytest.approx((1 + 2 + 1000) / 3)
+
+
+class TestMerge:
+    @staticmethod
+    def _hist(values) -> LatencyHistogram:
+        h = LatencyHistogram()
+        for v in values:
+            h.record(v)
+        return h
+
+    def test_merge_equals_recording_everything_in_one(self):
+        a_vals = [3, 77, 1024, 50_000]
+        b_vals = [0, 9_999_999]
+        merged = self._hist(a_vals).merge(self._hist(b_vals))
+        assert merged == self._hist(a_vals + b_vals)
+
+    def test_merge_associative_and_commutative(self):
+        rng = random.Random(11)
+        parts = [
+            [rng.randrange(0, 1 << 30) for _ in range(40)] for _ in range(3)
+        ]
+        a, b, c = (self._hist(p) for p in parts)
+        left = self._hist(parts[0]).merge(b).merge(c)
+        right = self._hist(parts[1]).merge(c).merge(a)
+        assert left == right
+        assert merge_all([a, b, c]) == left
+
+    def test_merge_returns_self_and_tracks_min_max(self):
+        a = self._hist([50])
+        b = self._hist([5, 500])
+        out = a.merge(b)
+        assert out is a
+        assert (a.min, a.max, a.count) == (5, 500, 3)
+
+    def test_merge_into_empty(self):
+        a = LatencyHistogram()
+        b = self._hist([7])
+        a.merge(b)
+        assert a == b
+
+
+class TestWireForm:
+    def test_round_trip_equality(self):
+        hist = LatencyHistogram()
+        rng = random.Random(3)
+        for _ in range(200):
+            hist.record(rng.randrange(0, 1 << 40))
+        rebuilt = LatencyHistogram.from_wire(hist.to_wire())
+        assert rebuilt == hist
+        assert rebuilt.quantile(0.95) == hist.quantile(0.95)
+
+    def test_wire_form_is_sparse(self):
+        hist = LatencyHistogram()
+        hist.record(12)
+        wire = hist.to_wire()
+        # an almost-empty histogram costs a handful of pairs, not 976 ints
+        assert len(wire[-1]) == 1
+
+    def test_pickle_round_trips_through_wire_form(self):
+        hist = LatencyHistogram()
+        for v in (1, 16, 17, 1 << 20):
+            hist.record(v)
+        clone = pickle.loads(pickle.dumps(hist))
+        assert clone == hist
+
+    def test_from_wire_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_wire(("nope", 1, 2, 3, 4, ()))
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_wire("not a tuple")
