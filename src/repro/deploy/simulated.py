@@ -182,6 +182,19 @@ class SimDeployment:
         doc["nodes"] = sim_node_entries(self.network)
         return doc
 
+    def spans(self) -> list[dict]:
+        """The modeled-timeline spans recorded while traces were open
+        (``repro.spans/1`` dicts in simulated-time nanoseconds, clock
+        domain :data:`~repro.obs.spans.SIM_DOMAIN` — born aligned), in
+        exactly the schema the real drivers' scrape produces, so a
+        modeled timeline diffs directly against a measured one through
+        :mod:`repro.obs.export`."""
+        return list(self.executor.spans)
+
+    def clear_spans(self) -> None:
+        """Drop recorded simulated spans (between traced experiments)."""
+        self.executor.spans.clear()
+
 
 class SimClient:
     """Client facade over the simulated executor.
@@ -271,3 +284,38 @@ class SimClient:
         """Run a protocol synchronously; returns ``(value, sim_duration)``."""
         proc = self.spawn_timed(proto)
         return self.dep.sim.run(until=proc)
+
+    def traced(self, proto, name: str = "op") -> tuple[Any, int]:
+        """Run a protocol synchronously under a trace; returns
+        ``(value, trace_id)``.
+
+        The executor records every wire group's rpc + serving spans in
+        simulated time, and this helper adds the operation's own root
+        span, so :meth:`SimDeployment.spans` afterwards holds a complete
+        modeled timeline for the operation.
+        """
+        from repro.obs.spans import SIM_DOMAIN, make_span, new_span_id
+        from repro.obs.trace import end_trace, set_op_span, start_trace
+
+        tid = start_trace()
+        sid = new_span_id()
+        prev = set_op_span(sid)
+        t0 = self.dep.sim.now
+        failed = False
+        try:
+            value = self.run(proto)
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            t1 = self.dep.sim.now
+            set_op_span(prev)
+            end_trace()
+            self.dep.executor.spans.append(
+                make_span(
+                    tid, sid, prev, "op", name, "client",
+                    int(t0 * 1e9), int(t1 * 1e9),
+                    domain=SIM_DOMAIN, error=failed,
+                )
+            )
+        return value, tid

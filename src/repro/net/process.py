@@ -285,8 +285,8 @@ class _WorkerHandle:
     def dead_reason(self) -> str | None:
         return self.channel.down_reason
 
-    def submit(self, group, slot, latch, gen) -> None:
-        self.channel.submit(group, slot, latch, gen)
+    def submit(self, group, slot, latch, gen, trace=None) -> None:
+        self.channel.submit(group, slot, latch, gen, trace)
 
     def control(self, kind: str, timeout: float = 10.0) -> Any:
         return self.channel.control(kind, timeout=timeout)

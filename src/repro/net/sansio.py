@@ -199,7 +199,8 @@ def dispatch_call(actor: Actor, call: Call) -> Any:
     except Exception as exc:  # noqa: BLE001 - boundary: wrap everything
         result = RemoteError.wrap(exc)
         error = True
-    telemetry_of(actor).record(call.method, perf_counter_ns() - t0, error)
+    t1 = perf_counter_ns()
+    telemetry_of(actor).record(call.method, t1 - t0, error, end_ns=t1)
     return result
 
 

@@ -48,6 +48,8 @@ from repro.net.sansio import (
     dispatch_call,
     plan_wire_groups,
 )
+from repro.obs.spans import SIM_DOMAIN, make_span, new_span_id
+from repro.obs.trace import current_op_span, current_trace
 from repro.sim.engine import Event, Simulator
 from repro.sim.network import Network, SimNode
 
@@ -62,6 +64,11 @@ class SimRpcExecutor:
         self._actors: dict[Address, tuple[Actor, SimNode]] = {}
         self.wire_rpcs = 0
         self.sub_calls = 0
+        #: modeled-timeline spans (``repro.spans/1`` dicts, sim-time ns,
+        #: domain :data:`~repro.obs.spans.SIM_DOMAIN`) recorded while a
+        #: trace is open; appended at group completion, so tracing adds
+        #: **no scheduled events** and never perturbs simulated series
+        self.spans: list[dict[str, Any]] = []
 
     def register(self, address: Address, actor: Actor, node: SimNode) -> None:
         if address in self._actors:
@@ -175,6 +182,8 @@ class SimRpcExecutor:
         n = len(calls)
         self.wire_rpcs += 1
         self.sub_calls += n
+        trace = current_trace()
+        t_req = sim.now if trace is not None else 0.0
 
         # One pass over the sub-calls resolves request payload bytes and the
         # per-method cost rows (service CPU, reply CPU, async latency).
@@ -233,6 +242,7 @@ class SimRpcExecutor:
         yield server_node.cpu.submit(
             service, extra_delay=async_sum, not_before=rx_done
         )
+        t_served = sim.now
         # 4. handler execution at the simulated completion instant
         values = [dispatch_call(actor, c) for c in calls]
         # 5. response: server reply-handling CPU, tx, link, client rx
@@ -255,4 +265,53 @@ class SimRpcExecutor:
         yield client_node.cpu.submit(
             spec.rpc_overhead + reply_sum, not_before=crx_done
         )
+        if trace is not None:
+            self._record_spans(
+                trace, dest, calls, req_bytes, t_req, rx_done, t_served,
+                sim.now,
+            )
         return values
+
+    def _record_spans(
+        self,
+        trace: int,
+        dest: Address,
+        calls: list[Call],
+        req_bytes: int,
+        t_req: float,
+        rx_done: float,
+        t_served: float,
+        t_done: float,
+    ) -> None:
+        """Append the group's modeled rpc + server spans (sim-time ns).
+
+        Same schema as the real drivers' spans, so a modeled timeline
+        diffs directly against a measured one. The server window runs
+        from request arrival (``rx_done``; request enqueue for loopback)
+        to service completion — queue wait on the server CPU lane is
+        inside the window, reported as ``queue_ns`` zero because the
+        lane model doesn't expose per-job start instants.
+        """
+        from repro.net.address import format_actor
+
+        parent = current_op_span()
+        span_id = new_span_id()
+        label = format_actor(dest)
+        method = calls[0].method
+        if any(c.method != method for c in calls):
+            method = "mixed"
+        t_arrive = rx_done if rx_done > t_req else t_req
+        self.spans.append(
+            make_span(
+                trace, span_id, parent, "rpc", label, "client",
+                int(t_req * 1e9), int(t_done * 1e9),
+                domain=SIM_DOMAIN, nbytes=req_bytes,
+            )
+        )
+        self.spans.append(
+            make_span(
+                trace, new_span_id(), span_id, "server", method, label,
+                int(t_arrive * 1e9), int(t_served * 1e9),
+                domain=SIM_DOMAIN, nbytes=req_bytes,
+            )
+        )

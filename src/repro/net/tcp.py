@@ -204,7 +204,12 @@ class TcpPeer:
     # -- RPC surface (the remote-handle contract) ------------------------
 
     def submit(
-        self, group: WireGroup, slot: list, latch: _BatchLatch, gen: int
+        self,
+        group: WireGroup,
+        slot: list,
+        latch: _BatchLatch,
+        gen: int,
+        trace: Any = None,
     ) -> None:
         with self._lock:
             channel = self._channel
@@ -214,7 +219,7 @@ class TcpPeer:
             slot[0] = RemoteError("PeerUnavailable", reason)
             latch.group_done(gen)
             return
-        channel.submit(group, slot, latch, gen)
+        channel.submit(group, slot, latch, gen, trace)
 
     def control(self, kind: str, timeout: float = 10.0) -> Any:
         with self._lock:

@@ -44,9 +44,11 @@ from repro.net.sansio import (
 )
 from repro.errors import ReproError
 from repro.obs.hist import LatencyHistogram, merge_all
+from repro.obs.spans import new_span_id, record_group_spans
 from repro.obs.telemetry import telemetry_of
 from repro.obs.trace import (
     clear_server_context,
+    current_op_span,
     current_trace,
     set_server_context,
 )
@@ -338,17 +340,30 @@ class ThreadedDriver:
         latch = self._latch()
         gen = latch.begin(len(groups))
         trace = current_trace()
+        # With a trace open each wire group gets a span id that rides the
+        # envelope (serving-side spans parent to it); untraced batches
+        # enqueue the exact historical item shape.
+        span_ids = None
+        parent = None
+        if trace is not None:
+            parent = current_op_span()
+            span_ids = [new_span_id() for _ in groups]
         t_enq = time.perf_counter_ns()
-        for server, group in zip(resolved, groups):
+        for k, (server, group) in enumerate(zip(resolved, groups)):
+            wire_trace = trace if span_ids is None else (trace, span_ids[k])
             server.inbox.put(
-                (group.calls, group.indices, results, latch, gen, trace, t_enq)
+                (group.calls, group.indices, results, latch, gen,
+                 wire_trace, t_enq)
             )
         latch.wait()
         # One RTT sample per wire RPC; the batch completes as a unit, so
         # every group in it shares the batch round-trip time.
-        rtt_ns = time.perf_counter_ns() - t_enq
+        t_done = time.perf_counter_ns()
+        rtt_ns = t_done - t_enq
         for group in groups:
             latch.record_rtt(dest_kind(group.dest), rtt_ns)
+        if span_ids is not None:
+            record_group_spans(trace, parent, span_ids, groups, t_enq, t_done)
         return [deliver(c, r) for c, r in zip(calls, results)]
 
     def spawn(self, proto: Protocol[Any]) -> "ProtocolFuture":

@@ -67,7 +67,8 @@ from repro.net.sansio import (
     plan_wire_groups,
 )
 from repro.net.threaded import ThreadedDriver, _BatchLatch, dest_kind
-from repro.obs.trace import current_trace
+from repro.obs.spans import new_span_id, record_group_spans
+from repro.obs.trace import current_op_span, current_trace
 
 #: socket receive chunk: large enough to drain several page-sized messages
 #: per syscall when replies queue up
@@ -254,13 +255,22 @@ class RpcChannel:
     # -- submit ----------------------------------------------------------
 
     def submit(
-        self, group: WireGroup, slot: list, latch: _BatchLatch, gen: int
+        self,
+        group: WireGroup,
+        slot: list,
+        latch: _BatchLatch,
+        gen: int,
+        trace: Any = None,
     ) -> None:
         """Send one wire group; the receiver thread completes the latch.
 
         ``slot`` is the batch's one-element mailbox for this group: it
         receives the raw reply body, which the *caller* decodes after the
         latch releases (see ``RemoteActorDriver._execute_batch``).
+
+        ``trace`` is the driver-minted trace context for this group — a
+        ``(trace_id, span_id)`` pair while the caller has a trace open,
+        else ``None``.
         """
         payload = [(call.method, call.args) for call in group.calls]
         with self._pending_lock:
@@ -275,7 +285,6 @@ class RpcChannel:
         # Trace propagation: the envelope grows an optional third field
         # only while the calling thread has a trace open — with none, the
         # frame is bit-identical to the historical 2-tuple form.
-        trace = current_trace()
         envelope = ("rpc", payload) if trace is None else ("rpc", payload, trace)
         try:
             frame = encode_message(req_id, envelope)
@@ -345,7 +354,8 @@ class RemoteActorDriver(ThreadedDriver):
     Extends :class:`ThreadedDriver`: ``register`` places an actor on an
     in-parent service thread (exactly the threaded driver's semantics),
     while subclasses register *remote handles* — objects exposing
-    ``submit(group, slot, latch, gen)``, ``control(kind)`` and ``stop()``
+    ``submit(group, slot, latch, gen, trace)``, ``control(kind)`` and
+    ``stop()``
     — for actors living in worker processes or on other hosts. The
     protocol loop, batch latch, ``spawn``/futures and transport counters
     are shared, so ``transport_stats`` reads identically across every
@@ -439,22 +449,34 @@ class RemoteActorDriver(ThreadedDriver):
         latch = self._latch()
         gen = latch.begin(len(groups))
         trace = current_trace()
+        # With a trace open each wire group gets a span id that rides the
+        # envelope (serving-side spans parent to it); untraced batches
+        # stay bit-identical on the wire.
+        span_ids = None
+        parent = None
+        if trace is not None:
+            parent = current_op_span()
+            span_ids = [new_span_id() for _ in groups]
         t_enq = time.perf_counter_ns()
         slots: list[list | None] = [None] * len(groups)
         for k, ((remote, server), group) in enumerate(zip(resolved, groups)):
+            wire_trace = trace if span_ids is None else (trace, span_ids[k])
             if remote is not None:
                 slot: list = [None]
                 slots[k] = slot
-                remote.submit(group, slot, latch, gen)
+                remote.submit(group, slot, latch, gen, wire_trace)
             else:
                 server.inbox.put(
                     (group.calls, group.indices, results, latch, gen,
-                     trace, t_enq)
+                     wire_trace, t_enq)
                 )
         latch.wait()
-        rtt_ns = time.perf_counter_ns() - t_enq
+        t_done = time.perf_counter_ns()
+        rtt_ns = t_done - t_enq
         for group in groups:
             latch.record_rtt(dest_kind(group.dest), rtt_ns)
+        if span_ids is not None:
+            record_group_spans(trace, parent, span_ids, groups, t_enq, t_done)
         # Decode remote replies on *this* thread: the receiver threads only
         # routed raw bodies, so payload unpickling happens in the caller
         # that asked for the data, concurrent across caller threads.

@@ -22,6 +22,21 @@ driver already funnels through (:func:`repro.net.sansio.dispatch_call`):
   unified schema ``repro.tools.metrics`` prints (and the simulator's
   :class:`~repro.sim.trace.NodeUtilization` is re-exported through).
 
+On top of the scrape, span-level distributed tracing:
+
+- :mod:`repro.obs.spans` — per-process clock domains, span ids and the
+  bounded span buffers: while a trace is open every dispatched sub-call
+  and every wire RPC records a span (collected through the same
+  uncounted ``telemetry`` control);
+- :mod:`repro.obs.export` — assembles spans from all actors into one
+  timeline: cross-process clock alignment from RPC parent/child pairs,
+  Chrome trace-event JSON (Perfetto-loadable) and per-operation
+  critical-path summaries;
+- :mod:`repro.obs.recorder` — the flight recorder: a background sampler
+  writing ``deployment.metrics()`` into a size-bounded on-disk segment
+  ring, so a crashed agent leaves its last N seconds of metrics
+  (default-off; ``repro.tools.node --flight-recorder DIR``).
+
 Logging: telemetry events (slow spans) go to the ``repro.obs`` logger;
 :func:`repro.obs.logconfig.configure_logging` installs one stderr handler
 on the documented ``repro.*`` hierarchy (``repro.vm``, ``repro.pm``,
@@ -32,9 +47,24 @@ Overhead: two ``perf_counter_ns`` reads plus one histogram increment per
 sub-call (~1 µs); set ``REPRO_OBS=0`` to disable recording entirely.
 """
 
+from repro.obs.export import (
+    align_spans,
+    chrome_trace,
+    coverage,
+    render_critical_path,
+    validate_chrome,
+    validate_spans,
+)
 from repro.obs.hist import LatencyHistogram
 from repro.obs.logconfig import configure_logging
-from repro.obs.metrics import METRICS_SCHEMA, reconcile, render_metrics
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    collect_spans,
+    reconcile,
+    render_metrics,
+)
+from repro.obs.recorder import FlightRecorder, read_flight_records
+from repro.obs.spans import SPAN_SCHEMA, trace_operation
 from repro.obs.telemetry import (
     ActorTelemetry,
     TELEMETRY_METHOD,
@@ -45,16 +75,27 @@ from repro.obs.trace import current_trace, end_trace, new_trace_id, start_trace
 
 __all__ = [
     "ActorTelemetry",
+    "FlightRecorder",
     "LatencyHistogram",
     "METRICS_SCHEMA",
+    "SPAN_SCHEMA",
     "TELEMETRY_METHOD",
+    "align_spans",
+    "chrome_trace",
+    "collect_spans",
     "configure_logging",
+    "coverage",
     "current_trace",
     "end_trace",
     "new_trace_id",
+    "read_flight_records",
     "reconcile",
+    "render_critical_path",
     "render_metrics",
     "start_trace",
     "telemetry_enabled",
     "telemetry_of",
+    "trace_operation",
+    "validate_chrome",
+    "validate_spans",
 ]

@@ -1,0 +1,408 @@
+"""Timeline assembly: clock alignment, Chrome trace export, critical path.
+
+The span collectors (:mod:`repro.obs.spans`, the per-actor rings scraped
+by :mod:`repro.obs.metrics`) hand this module a flat list of
+``repro.spans/1`` dicts whose timestamps are *per-process* — each OS
+process counts nanoseconds from its own import-time epoch, its times
+labeled by a random ``domain`` id. Assembling one coherent timeline
+therefore needs **clock alignment**, and the RPC spans carry exactly the
+information to do it: a caller-side rpc span and its serving-side child
+bracket the same wire round trip, so for the serving domain's offset
+``off`` (added to serving times to land them in the caller's domain)
+nesting gives an interval
+
+    p.start - s.start  <=  off  <=  p.end - s.end
+
+per parent/child pair. Intersecting the intervals of every pair between
+two domains pins the offset as tightly as the observed RTTs allow; the
+midpoint of the intersection is the classic RTT-midpoint estimator. With
+offsets resolved (domains form a graph walked breadth-first from the
+client's domain), the aligned timeline exports as:
+
+- **Chrome trace-event JSON** (:func:`chrome_trace`) — the
+  ``traceEvents`` array format that ``chrome://tracing`` and Perfetto
+  load, one row ("process") per actor;
+- a **critical-path summary** (:func:`render_critical_path`) — the
+  per-operation decomposition the paper's breakdown figures plot:
+  client gaps vs. wire windows by destination, with per-method service
+  totals that reconcile against the scrape histograms.
+
+Simulated timelines (:data:`~repro.obs.spans.SIM_DOMAIN`) are born
+aligned — one global sim clock — so the same exports work unchanged on
+a :class:`~repro.deploy.simulated.SimDeployment`'s spans, which is what
+makes modeled and measured timelines diffable.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.spans import SPAN_KEYS, SPAN_SCHEMA  # noqa: F401 (re-export)
+
+#: spans shorter than this render as one bracket in text reports
+_NS_PER_MS = 1e6
+
+
+# ---------------------------------------------------------------------------
+# schema validation
+# ---------------------------------------------------------------------------
+
+
+def validate_span(span: Mapping[str, Any]) -> list[str]:
+    """Problems with one span dict against ``repro.spans/1`` (empty =
+    valid): exact key set, type sanity, and a non-inverted window."""
+    problems = []
+    missing = [k for k in SPAN_KEYS if k not in span]
+    extra = [k for k in span if k not in SPAN_KEYS]
+    if missing:
+        problems.append(f"missing keys: {missing}")
+    if extra:
+        problems.append(f"unknown keys: {extra}")
+    if missing or extra:
+        return problems
+    if span["kind"] not in ("op", "client", "rpc", "server"):
+        problems.append(f"bad kind: {span['kind']!r}")
+    for key in ("trace", "span", "domain", "start_ns", "end_ns", "queue_ns",
+                "bytes"):
+        if not isinstance(span[key], int):
+            problems.append(f"{key} is {type(span[key]).__name__}, not int")
+    if span["parent"] is not None and not isinstance(span["parent"], int):
+        problems.append("parent is neither int nor None")
+    if isinstance(span["start_ns"], int) and isinstance(span["end_ns"], int) \
+            and span["end_ns"] < span["start_ns"]:
+        problems.append(f"inverted window: {span['start_ns']}..{span['end_ns']}")
+    return problems
+
+
+def validate_spans(spans: Iterable[Mapping[str, Any]]) -> list[str]:
+    """Validate every span; problem strings carry the span index."""
+    problems = []
+    for i, span in enumerate(spans):
+        problems.extend(f"span[{i}]: {p}" for p in validate_span(span))
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# clock alignment
+# ---------------------------------------------------------------------------
+
+
+def reference_domain(spans: Sequence[Mapping[str, Any]]) -> int | None:
+    """The domain timelines align *to*: the client's clock — the domain
+    of the op spans, else of the rpc spans, else of the first span."""
+    for kind in ("op", "rpc"):
+        for span in spans:
+            if span["kind"] == kind:
+                return span["domain"]
+    return spans[0]["domain"] if spans else None
+
+
+def estimate_offsets(
+    spans: Sequence[Mapping[str, Any]], reference: int | None = None
+) -> dict[int, int]:
+    """Per-domain clock offsets (ns to *add* to a domain's timestamps to
+    express them in the reference domain).
+
+    Built from every caller-rpc/serving-span pair (matched by the span
+    id that rode the wire envelope): each pair constrains the pairwise
+    offset to an interval, intervals intersect per domain pair, and the
+    midpoint is taken — falling back to the median of per-pair midpoints
+    when measurement noise empties the intersection. Domains reachable
+    only through other domains compose offsets along a breadth-first
+    walk from the reference; unreachable domains keep offset 0.
+    """
+    if reference is None:
+        reference = reference_domain(spans)
+    if reference is None:
+        return {}
+    by_id = {s["span"]: s for s in spans}
+    # (parent_domain, child_domain) -> [lo, hi, midpoints]
+    edges: dict[tuple[int, int], list] = {}
+    for child in spans:
+        parent = by_id.get(child["parent"])
+        if parent is None or parent["domain"] == child["domain"]:
+            continue
+        lo = parent["start_ns"] - child["start_ns"]
+        hi = parent["end_ns"] - child["end_ns"]
+        if hi < lo:  # degenerate pair (child window longer than parent's)
+            lo, hi = hi, lo
+        key = (parent["domain"], child["domain"])
+        entry = edges.get(key)
+        if entry is None:
+            edges[key] = [lo, hi, [(lo + hi) // 2]]
+        else:
+            entry[0] = max(entry[0], lo)
+            entry[1] = min(entry[1], hi)
+            entry[2].append((lo + hi) // 2)
+    # pairwise estimates, symmetric
+    pairwise: dict[int, dict[int, int]] = {}
+    for (dp, dc), (lo, hi, mids) in edges.items():
+        off = (lo + hi) // 2 if lo <= hi else int(median(mids))
+        pairwise.setdefault(dp, {})[dc] = off
+        pairwise.setdefault(dc, {})[dp] = -off
+    offsets = {reference: 0}
+    frontier = [reference]
+    while frontier:
+        nxt = []
+        for dom in frontier:
+            for other, off in pairwise.get(dom, {}).items():
+                if other in offsets:
+                    continue
+                # other->dom is `off`; other->reference composes with dom's
+                offsets[other] = offsets[dom] + off
+                nxt.append(other)
+        frontier = nxt
+    for span in spans:
+        offsets.setdefault(span["domain"], 0)
+    return offsets
+
+
+def align_spans(
+    spans: Sequence[Mapping[str, Any]], reference: int | None = None
+) -> tuple[list[dict[str, Any]], dict[int, int]]:
+    """The spans with every timestamp shifted into the reference domain.
+
+    Returns ``(aligned, offsets)``; aligned spans are fresh dicts (the
+    inputs are never mutated) with their ``domain`` rewritten to the
+    reference so downstream code can treat the timeline as one clock.
+    """
+    if reference is None:
+        reference = reference_domain(spans)
+    offsets = estimate_offsets(spans, reference)
+    aligned = []
+    for span in spans:
+        off = offsets.get(span["domain"], 0)
+        shifted = dict(span)
+        shifted["start_ns"] = span["start_ns"] + off
+        shifted["end_ns"] = span["end_ns"] + off
+        shifted["domain"] = reference if reference is not None else 0
+        aligned.append(shifted)
+    return aligned, offsets
+
+
+# ---------------------------------------------------------------------------
+# coverage
+# ---------------------------------------------------------------------------
+
+
+def _merge_windows(windows: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    if not windows:
+        return []
+    windows.sort()
+    merged = [windows[0]]
+    for start, end in windows[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def coverage(spans: Sequence[Mapping[str, Any]]) -> dict[int, float]:
+    """Per-trace fraction of the op window covered by traced activity.
+
+    For each trace with an op span: the union of its non-op spans,
+    clipped to the op window, over the op duration. This is the
+    acceptance metric for "the exported timeline explains the
+    client-observed wall time" — call it on *aligned* spans.
+    """
+    ops = {s["trace"]: s for s in spans if s["kind"] == "op"}
+    out = {}
+    for trace, op in ops.items():
+        lo, hi = op["start_ns"], op["end_ns"]
+        if hi <= lo:
+            out[trace] = 1.0
+            continue
+        windows = []
+        for s in spans:
+            if s["trace"] != trace or s["kind"] == "op":
+                continue
+            start, end = max(s["start_ns"], lo), min(s["end_ns"], hi)
+            if end > start:
+                windows.append((start, end))
+        covered = sum(end - start for start, end in _merge_windows(windows))
+        out[trace] = covered / (hi - lo)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace(spans: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """The aligned spans as a Chrome trace-event document.
+
+    ``{"traceEvents": [...]}`` with complete ("X") events in microsecond
+    units — the format ``chrome://tracing`` and Perfetto load directly.
+    Each actor label becomes one "process" row (named via ``process_name``
+    metadata events); span hierarchy rides in ``args``.
+    """
+    pids: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        pid = pids.get(span["actor"])
+        if pid is None:
+            pid = pids[span["actor"]] = len(pids) + 1
+            events.append({
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": span["actor"]},
+            })
+        events.append({
+            "ph": "X",
+            "name": f"{span['kind']}:{span['name']}",
+            "cat": span["kind"],
+            "pid": pid,
+            "tid": 0,
+            "ts": span["start_ns"] / 1e3,
+            "dur": (span["end_ns"] - span["start_ns"]) / 1e3,
+            "args": {
+                "trace": span["trace"],
+                "span": span["span"],
+                "parent": span["parent"],
+                "queue_ms": span["queue_ns"] / _NS_PER_MS,
+                "bytes": span["bytes"],
+                "error": span["error"],
+            },
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome(doc: Mapping[str, Any]) -> list[str]:
+    """Problems with a Chrome trace-event document (empty = valid)."""
+    problems = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"event[{i}]: unsupported phase {ph!r}")
+            continue
+        if "pid" not in ev or "name" not in ev:
+            problems.append(f"event[{i}]: missing pid/name")
+        if ph == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or not isinstance(
+                dur, (int, float)
+            ):
+                problems.append(f"event[{i}]: non-numeric ts/dur")
+            elif dur < 0:
+                problems.append(f"event[{i}]: negative duration")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# critical path
+# ---------------------------------------------------------------------------
+
+
+def critical_path_segments(
+    spans: Sequence[Mapping[str, Any]], trace: int
+) -> list[tuple[str, int]]:
+    """One operation's time decomposed into ordered segments.
+
+    The client thread runs one batch at a time, so the op window splits
+    exactly into *wire windows* (every rpc span of a batch shares one
+    submit..complete window; the segment is labeled with the batch's
+    destinations) and *client gaps* between them (protocol code:
+    building tree nodes, assembling buffers, decoding replies). Returns
+    ``[(label, duration_ns), ...]`` in timeline order; zero-length
+    segments are dropped.
+    """
+    ops = [s for s in spans if s["trace"] == trace and s["kind"] == "op"]
+    rpcs = [s for s in spans if s["trace"] == trace and s["kind"] == "rpc"]
+    if ops:
+        lo, hi = ops[0]["start_ns"], ops[0]["end_ns"]
+    elif rpcs:
+        lo = min(s["start_ns"] for s in rpcs)
+        hi = max(s["end_ns"] for s in rpcs)
+    else:
+        return []
+    windows: dict[tuple[int, int], set] = {}
+    for s in rpcs:
+        windows.setdefault((s["start_ns"], s["end_ns"]), set()).add(s["name"])
+    segments: list[tuple[str, int]] = []
+    cursor = lo
+    for (start, end), dests in sorted(windows.items()):
+        start, end = max(start, lo), min(end, hi)
+        if start > cursor:
+            segments.append(("client", start - cursor))
+        if end > max(start, cursor):
+            label = "wire:" + "+".join(sorted(dests))
+            segments.append((label, end - max(start, cursor)))
+            cursor = end
+    if hi > cursor:
+        segments.append(("client", hi - cursor))
+    return segments
+
+
+def service_totals(
+    spans: Sequence[Mapping[str, Any]], trace: int | None = None
+) -> dict[str, dict[str, Any]]:
+    """Per-method serving-side totals: count, service ns, queue ns.
+
+    Computed from serving spans (optionally one trace's), these are the
+    numbers that must reconcile with the scrape histograms — the spans
+    and the histograms observe the same dispatch point.
+    """
+    totals: dict[str, dict[str, Any]] = {}
+    for s in spans:
+        if s["kind"] != "server":
+            continue
+        if trace is not None and s["trace"] != trace:
+            continue
+        row = totals.setdefault(
+            s["name"], {"count": 0, "service_ns": 0, "queue_ns": 0}
+        )
+        row["count"] += 1
+        row["service_ns"] += s["end_ns"] - s["start_ns"]
+        row["queue_ns"] += s["queue_ns"]
+    return totals
+
+
+def render_critical_path(
+    spans: Sequence[Mapping[str, Any]], trace: int | None = None
+) -> str:
+    """Text critical-path report for one trace (default: every op span's
+    trace in the list, concatenated). Call with *aligned* spans."""
+    traces = (
+        [trace]
+        if trace is not None
+        else sorted({s["trace"] for s in spans if s["kind"] == "op"})
+    )
+    lines = []
+    cov = coverage(spans)
+    for tid in traces:
+        ops = [s for s in spans if s["trace"] == tid and s["kind"] == "op"]
+        name = ops[0]["name"] if ops else "?"
+        total = (
+            (ops[0]["end_ns"] - ops[0]["start_ns"]) if ops else
+            sum(d for _, d in critical_path_segments(spans, tid))
+        )
+        lines.append(
+            f"critical path: {name} (trace {tid}) — "
+            f"{total / _NS_PER_MS:.3f} ms total"
+            + (f", {cov[tid]:.1%} covered" if tid in cov else "")
+        )
+        for label, dur in critical_path_segments(spans, tid):
+            share = dur / total if total else 0.0
+            lines.append(
+                f"  {label:<28} {dur / _NS_PER_MS:>9.3f} ms  {share:>6.1%}"
+            )
+        totals = service_totals(spans, tid)
+        if totals:
+            lines.append("  serving side (per method):")
+            for method in sorted(totals):
+                row = totals[method]
+                lines.append(
+                    f"    {method:<26} {row['count']:>5}× "
+                    f"service {row['service_ns'] / _NS_PER_MS:>9.3f} ms  "
+                    f"queue {row['queue_ns'] / _NS_PER_MS:>8.3f} ms"
+                )
+    return "\n".join(lines)

@@ -23,19 +23,50 @@ to stderr; a program that constructs :class:`~repro.net.node.NodeAgent`
 Without it, Python's last-resort handler still surfaces WARNING and
 above (torn tails are never silent), but recovery INFO lines are
 dropped — which is why embedders should call this.
+
+The ``REPRO_LOG`` environment variable overrides the requested level
+(``REPRO_LOG=debug python -m repro.tools.node ...`` turns on slow-span
+DEBUG lines on a deployed agent without touching its launcher), read on
+every call so a respawned agent honors the environment it starts in.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import sys
 from typing import IO
 
 #: the root of the documented hierarchy
 ROOT_LOGGER = "repro"
 
+#: environment knob overriding the level passed to configure_logging
+LOG_ENV = "REPRO_LOG"
+
 #: marker attribute identifying the handler this module installed
 _MARKER = "_repro_obs_handler"
+
+
+def _env_level() -> int | str | None:
+    """The ``REPRO_LOG`` override as a logging level, or None.
+
+    Accepts names (``debug``, ``INFO``) and numerics (``10``); an
+    unrecognized value is ignored with a stderr note rather than an
+    error — a typo in an env var must not keep an agent from starting.
+    """
+    raw = os.environ.get(LOG_ENV)
+    if not raw:
+        return None
+    if raw.isdigit():
+        return int(raw)
+    name = raw.strip().upper()
+    if isinstance(logging.getLevelName(name), int):
+        return name
+    print(
+        f"repro.obs: ignoring unrecognized {LOG_ENV}={raw!r}",
+        file=sys.stderr,
+    )
+    return None
 
 
 def configure_logging(
@@ -47,7 +78,14 @@ def configure_logging(
     and stream instead of stacking duplicates, so libraries and CLIs may
     both call it safely. Returns the configured root logger. stdout is
     never touched (the node CLI reserves it for the READY line).
+
+    A ``REPRO_LOG=level`` environment variable overrides ``level`` —
+    the operator knob for turning a deployed agent's logging up or down
+    without editing its launcher.
     """
+    env_level = _env_level()
+    if env_level is not None:
+        level = env_level
     root = logging.getLogger(ROOT_LOGGER)
     handler = None
     for existing in root.handlers:

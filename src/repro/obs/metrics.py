@@ -19,8 +19,13 @@ same JSON-safe document::
           },
           "slow": [{"trace": ..., "method": ..., "queue_ms": ...,
                     "service_ms": ..., "bytes": ..., "error": ...}, ...],
-          "slow_seen": 2, "slow_threshold_ms": 100.0
+          "slow_seen": 2, "slow_threshold_ms": 100.0,
+          "spans": [...],     # traced sub-call spans (repro.spans/1 dicts)
+          "spans_seen": 0, "clock_domain": 123...
         }, ...
+      },
+      "caller_rtt": {  # drivers with a wire layer: caller-side RTT rows
+        "data": {"count": ..., "mean_ms": ..., "p50_ms": ..., ...}, ...
       },
       "nodes": {  # simulated runs only: NodeUtilization, re-exported
         "client-0": {"role": "client", "cpu": 0.42, "tx": 0.1, "rx": 0.3},
@@ -77,7 +82,32 @@ def span_row(span: tuple) -> dict[str, Any]:
     }
 
 
-def actor_entry(report: Mapping[str, Any]) -> dict[str, Any]:
+def trace_span_row(
+    span: tuple, actor: str = "", domain: int = 0
+) -> dict[str, Any]:
+    """One per-actor trace span (the telemetry ring's compact tuple) as a
+    ``repro.spans/1`` dict (see :data:`repro.obs.spans.SPAN_KEYS`); the
+    actor label and clock domain live once per snapshot, so the scrape
+    reattaches them here."""
+    trace_id, span_id, parent, method, start_ns, end_ns, queue_ns, nbytes, \
+        error = span
+    return {
+        "trace": trace_id,
+        "span": span_id,
+        "parent": parent,
+        "kind": "server",
+        "name": method,
+        "actor": actor,
+        "domain": domain,
+        "start_ns": start_ns,
+        "end_ns": end_ns,
+        "queue_ns": queue_ns,
+        "bytes": nbytes,
+        "error": bool(error),
+    }
+
+
+def actor_entry(report: Mapping[str, Any], name: str = "") -> dict[str, Any]:
     """One actor's metrics entry from a driver ``telemetry()`` report
     (``{"wire_rpcs", "sub_calls", "telemetry": snapshot}``)."""
     snapshot = report.get("telemetry") or {}
@@ -86,6 +116,7 @@ def actor_entry(report: Mapping[str, Any]) -> dict[str, Any]:
         m: method_row(wire, errors.get(m, 0))
         for m, wire in sorted(snapshot.get("methods", {}).items())
     }
+    domain = snapshot.get("clock_domain", 0)
     return {
         "wire_rpcs": report.get("wire_rpcs"),
         "sub_calls": report.get("sub_calls"),
@@ -94,6 +125,25 @@ def actor_entry(report: Mapping[str, Any]) -> dict[str, Any]:
         "slow": [span_row(s) for s in snapshot.get("slow", ())],
         "slow_seen": snapshot.get("slow_seen", 0),
         "slow_threshold_ms": snapshot.get("slow_threshold_ms"),
+        "spans": [
+            trace_span_row(s, name, domain) for s in snapshot.get("spans", ())
+        ],
+        "spans_seen": snapshot.get("spans_seen", 0),
+        "clock_domain": domain,
+    }
+
+
+def caller_rtt_rows(driver: Any) -> dict[str, Any] | None:
+    """The driver's caller-side RTT histograms as stats rows, or None for
+    drivers without a wire layer (``caller_rtt`` merges live caller
+    threads' histograms at call time, so a long-lived client's RTTs are
+    visible mid-run, not only after its thread retires)."""
+    caller_rtt = getattr(driver, "caller_rtt", None)
+    if caller_rtt is None:
+        return None
+    return {
+        kind: method_row(hist.to_wire())
+        for kind, hist in sorted(caller_rtt().items())
     }
 
 
@@ -105,8 +155,35 @@ def scrape_driver(
         addresses = driver.addresses()
     actors = {}
     for address in addresses:
-        actors[format_actor(address)] = actor_entry(driver.telemetry(address))
-    return {"schema": METRICS_SCHEMA, "source": source, "actors": actors}
+        name = format_actor(address)
+        actors[name] = actor_entry(driver.telemetry(address), name)
+    doc = {"schema": METRICS_SCHEMA, "source": source, "actors": actors}
+    rtt = caller_rtt_rows(driver)
+    if rtt is not None:
+        doc["caller_rtt"] = rtt
+    return doc
+
+
+def agent_metrics(agent: Any) -> dict[str, Any]:
+    """A node agent's own actors in the unified schema (in-process
+    inspection; what the flight recorder samples on a node)."""
+    return {
+        "schema": METRICS_SCHEMA,
+        "source": "node",
+        "actors": {
+            name: actor_entry(report, name)
+            for name, report in sorted(agent.telemetry().items())
+        },
+    }
+
+
+def collect_spans(metrics: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """All per-actor trace spans of one scrape document, flattened."""
+    return [
+        span
+        for name in sorted(metrics.get("actors", {}))
+        for span in metrics["actors"][name].get("spans", ())
+    ]
 
 
 def sim_node_entries(network: Any) -> dict[str, Any]:
@@ -140,27 +217,56 @@ def reconcile(metrics: Mapping[str, Any]) -> list[str]:
     return problems
 
 
-def render_metrics(metrics: Mapping[str, Any], slow_limit: int = 8) -> str:
-    """Plain-text per-actor/per-method quantile table."""
+def render_metrics(
+    metrics: Mapping[str, Any],
+    slow_limit: int = 8,
+    prev: Mapping[str, Any] | None = None,
+) -> str:
+    """Plain-text per-actor/per-method quantile table.
+
+    With ``prev`` (an earlier scrape of the same cluster) every method
+    row grows a trailing delta column — calls recorded since the
+    previous scrape — which is what ``repro.tools.metrics --watch``
+    reprints each period.
+    """
     lines = [f"cluster metrics ({metrics.get('source', '?')}):"]
     header = (
         f"  {'actor':<10} {'method':<22} {'count':>8} {'err':>5} "
         f"{'mean':>9} {'p50':>9} {'p95':>9} {'p99':>9} {'max':>9}"
     )
+    if prev is not None:
+        header += f" {'Δcount':>8}"
     lines.append(header + "  (ms)")
+    prev_actors = (prev or {}).get("actors", {})
     for name in sorted(metrics.get("actors", {})):
         entry = metrics["actors"][name]
+        prev_methods = prev_actors.get(name, {}).get("methods", {})
         for method, row in entry.get("methods", {}).items():
-            lines.append(
+            line = (
                 f"  {name:<10} {method:<22} {row['count']:>8} "
                 f"{row['errors']:>5} {row['mean_ms']:>9.3f} "
                 f"{row['p50_ms']:>9.3f} {row['p95_ms']:>9.3f} "
                 f"{row['p99_ms']:>9.3f} {row['max_ms']:>9.3f}"
             )
+            if prev is not None:
+                delta = row["count"] - prev_methods.get(method, {}).get(
+                    "count", 0
+                )
+                line += f" {'+' + str(delta):>8}"
+            lines.append(line)
         if entry.get("wire_rpcs") is not None:
             lines.append(
                 f"  {name:<10} {'(wire)':<22} {entry['wire_rpcs']:>8} rpcs, "
                 f"{entry['sub_calls']} sub-calls"
+            )
+    if metrics.get("caller_rtt"):
+        lines.append("  caller RTT (wire round-trips, by destination kind):")
+        for kind in sorted(metrics["caller_rtt"]):
+            row = metrics["caller_rtt"][kind]
+            lines.append(
+                f"    {kind:<10} {row['count']:>8} rpcs  "
+                f"mean {row['mean_ms']:>8.3f}  p50 {row['p50_ms']:>8.3f}  "
+                f"p95 {row['p95_ms']:>8.3f}  p99 {row['p99_ms']:>8.3f} (ms)"
             )
     spans = [
         (name, span)

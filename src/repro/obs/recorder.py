@@ -1,0 +1,206 @@
+"""Flight recorder: a crash-surviving ring of metrics samples on disk.
+
+A background thread polls a sample source (typically
+``deployment.metrics()`` or a node agent's
+:func:`~repro.obs.metrics.agent_metrics`) every interval and appends the
+JSON-encoded sample to a segment file. Segments rotate at a size bound
+and the oldest are deleted beyond a segment cap, so the recorder holds a
+bounded window of recent history — when an agent is SIGKILLed or OOMs,
+its state directory still holds the last N seconds of metrics for
+post-mortem (the same motivation as an aircraft flight recorder).
+
+Durability discipline follows :mod:`repro.core.journal`: **flush after
+every record** (the OS page cache holds flushed data across a process
+kill — only a host power cut loses it, which is the right trade for a
+diagnostic sampler), and a **torn tail is data, not corruption**: a
+sampler killed mid-write leaves a partial last line, which the reader
+skips with a warning, never an error. The formats differ deliberately —
+the journal frames binary records with checksums because replay
+*decides state*; the recorder writes plain JSONL because its consumer
+is a human (or ``repro.tools.metrics``) after a crash, and greppable
+beats framed there.
+
+Default-off everywhere: nothing starts a recorder unless asked
+(``repro.tools.node --flight-recorder DIR``, or constructing one).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from typing import Any, Callable
+
+logger = logging.getLogger("repro.obs")
+
+SEGMENT_PREFIX = "flight-"
+SEGMENT_SUFFIX = ".jsonl"
+
+#: rotate the current segment past this many bytes
+DEFAULT_SEGMENT_BYTES = 1 << 18
+#: keep at most this many segments (oldest deleted first)
+DEFAULT_MAX_SEGMENTS = 8
+#: seconds between samples
+DEFAULT_INTERVAL_S = 1.0
+
+
+def _segment_name(seq: int) -> str:
+    return f"{SEGMENT_PREFIX}{seq:08d}{SEGMENT_SUFFIX}"
+
+
+def _segment_seq(name: str) -> int | None:
+    if not (name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def list_segments(directory: str) -> list[str]:
+    """The recorder's segment files in ``directory``, oldest first."""
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    found = [
+        (seq, name)
+        for name in names
+        if (seq := _segment_seq(name)) is not None
+    ]
+    return [os.path.join(directory, name) for _, name in sorted(found)]
+
+
+class FlightRecorder:
+    """Samples ``source()`` into a size-bounded on-disk segment ring.
+
+    ``source`` is any zero-argument callable returning a JSON-safe value
+    (a metrics document). A source that raises does not kill the
+    sampler: the error is recorded as a sample (a cluster mid-crash is
+    exactly when the recorder must keep writing).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        source: Callable[[], Any],
+        interval_s: float = DEFAULT_INTERVAL_S,
+        max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        max_segments: int = DEFAULT_MAX_SEGMENTS,
+    ) -> None:
+        self.directory = os.fspath(directory)
+        self._source = source
+        self.interval_s = interval_s
+        self.max_segment_bytes = max_segment_bytes
+        self.max_segments = max(1, max_segments)
+        os.makedirs(self.directory, exist_ok=True)
+        existing = list_segments(self.directory)
+        self._seq = (
+            (_segment_seq(os.path.basename(existing[-1])) or 0) + 1
+            if existing else 1
+        )
+        self._file: Any = None
+        self._written = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples_taken = 0
+
+    # -- sampling --------------------------------------------------------
+
+    def sample(self) -> None:
+        """Take one sample now (the loop's body; tests call it directly)."""
+        record: dict[str, Any] = {"t": time.time()}
+        try:
+            record["sample"] = self._source()
+        except Exception as exc:  # noqa: BLE001 - keep recording mid-crash
+            record["error"] = f"{type(exc).__name__}: {exc}"
+        try:
+            line = json.dumps(record, separators=(",", ":")) + "\n"
+        except (TypeError, ValueError) as exc:
+            line = json.dumps(
+                {"t": record["t"], "error": f"unencodable sample: {exc}"}
+            ) + "\n"
+        self._append(line.encode())
+        self.samples_taken += 1
+
+    def _append(self, data: bytes) -> None:
+        if self._file is not None and \
+                self._written + len(data) > self.max_segment_bytes:
+            self._file.close()
+            self._file = None
+        if self._file is None:
+            path = os.path.join(self.directory, _segment_name(self._seq))
+            self._seq += 1
+            self._file = open(path, "ab")
+            self._written = 0
+            self._reclaim()
+        self._file.write(data)
+        # flush-always: the page cache survives a killed process, which is
+        # the whole point of a flight recorder (journal.py's discipline)
+        self._file.flush()
+        self._written += len(data)
+
+    def _reclaim(self) -> None:
+        segments = list_segments(self.directory)
+        for path in segments[: max(0, len(segments) - self.max_segments)]:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - racing reclaim is fine
+                pass
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "FlightRecorder":
+        """Start the background sampler thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="flight-recorder", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample()
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the sampler; by default writes one last sample on the
+        way out (the freshest pre-shutdown state)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        if final_sample:
+            self.sample()
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "FlightRecorder":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def read_flight_records(directory: str | os.PathLike) -> list[dict]:
+    """Every decodable sample in a recorder directory, oldest first.
+
+    A torn tail — the partial line a killed sampler leaves — is skipped
+    with a warning, never an error (the journal's torn-tail policy): the
+    records *before* the tear are exactly the post-mortem evidence.
+    """
+    records: list[dict] = []
+    for path in list_segments(os.fspath(directory)):
+        with open(path, "rb") as fh:
+            data = fh.read()
+        for line in data.splitlines():
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                logger.warning(
+                    "flight recorder: skipping torn/corrupt line in %s", path
+                )
+    return records

@@ -17,7 +17,12 @@ What it holds:
   service time crosses the threshold (``REPRO_OBS_SLOW_MS``, default
   100 ms) is sampled with its trace id, method, request bytes and the
   queue-vs-service split — the on-node flight recorder the metrics
-  scrape surfaces.
+  scrape surfaces;
+- a fixed-size ring of **trace spans**: while a trace is open, *every*
+  dispatched sub-call (not just slow ones) is recorded with its span
+  id, parent span, method, domain-relative start/end, queue wait and
+  request bytes (:mod:`repro.obs.spans`), which is what the timeline
+  export (:mod:`repro.obs.export`) assembles across actors.
 
 The ``telemetry`` mini-protocol RPC: ``dispatch_call`` intercepts the
 method name ``telemetry`` before the actor's own ``handle`` sees it, so
@@ -35,8 +40,9 @@ import logging
 import os
 from typing import Any
 
+from repro.obs import spans as _spans
 from repro.obs.hist import LatencyHistogram
-from repro.obs.trace import server_context
+from repro.obs.trace import server_context, server_span_parent
 
 logger = logging.getLogger("repro.obs")
 
@@ -53,6 +59,9 @@ DEFAULT_SLOW_MS = 100.0
 
 #: slow spans kept per actor (ring buffer; older spans are overwritten)
 SLOW_RING_SIZE = 64
+
+#: traced sub-call spans kept per actor (ring; older spans overwritten)
+SPAN_RING_SIZE = 2048
 
 _ENABLED = os.environ.get("REPRO_OBS", "1") != "0"
 
@@ -79,7 +88,10 @@ class ActorTelemetry:
     at worst slightly stale.
     """
 
-    __slots__ = ("hists", "errors", "slow", "slow_seen", "slow_threshold_ns")
+    __slots__ = (
+        "hists", "errors", "slow", "slow_seen", "slow_threshold_ns",
+        "spans", "spans_seen",
+    )
 
     def __init__(self, slow_threshold_ns: int | None = None) -> None:
         self.hists: dict[str, LatencyHistogram] = {}
@@ -89,9 +101,19 @@ class ActorTelemetry:
         self.slow_threshold_ns = (
             _slow_threshold_ns() if slow_threshold_ns is None else slow_threshold_ns
         )
+        self.spans: list[tuple] = []
+        self.spans_seen = 0
 
-    def record(self, method: str, service_ns: int, error: bool) -> None:
-        """Record one served sub-call (called from dispatch_call)."""
+    def record(
+        self, method: str, service_ns: int, error: bool, end_ns: int = 0
+    ) -> None:
+        """Record one served sub-call (called from dispatch_call).
+
+        ``end_ns`` is the dispatch point's absolute ``perf_counter_ns``
+        at handler return; when a trace is open it turns the sub-call
+        into a span in the per-actor span ring (zero means "timestamp
+        not supplied" — histogram-only recording, no span).
+        """
         hist = self.hists.get(method)
         if hist is None:
             hist = self.hists[method] = LatencyHistogram()
@@ -99,10 +121,30 @@ class ActorTelemetry:
         if error:
             self.errors[method] = self.errors.get(method, 0) + 1
         trace_id, queue_ns, nbytes = server_context()
+        if trace_id is not None and end_ns:
+            end_rel = _spans.to_span_ns(end_ns)
+            self._record_span((
+                trace_id,
+                _spans.new_span_id(),
+                server_span_parent(),
+                method,
+                end_rel - service_ns,
+                end_rel,
+                queue_ns,
+                nbytes,
+                error,
+            ))
         if service_ns + queue_ns >= self.slow_threshold_ns:
             self._record_slow(
                 (trace_id, method, queue_ns, service_ns, nbytes, error)
             )
+
+    def _record_span(self, span: tuple) -> None:
+        if len(self.spans) < SPAN_RING_SIZE:
+            self.spans.append(span)
+        else:
+            self.spans[self.spans_seen % SPAN_RING_SIZE] = span
+        self.spans_seen += 1
 
     def _record_slow(self, span: tuple) -> None:
         if len(self.slow) < SLOW_RING_SIZE:
@@ -135,6 +177,9 @@ class ActorTelemetry:
             "slow": list(self.slow),
             "slow_seen": self.slow_seen,
             "slow_threshold_ms": self.slow_threshold_ns / 1e6,
+            "spans": list(self.spans),
+            "spans_seen": self.spans_seen,
+            "clock_domain": _spans.CLOCK_DOMAIN,
         }
 
 
@@ -142,7 +187,9 @@ class _DisabledTelemetry(ActorTelemetry):
     """Shared no-op accumulator for actors that refuse attributes (or
     when ``REPRO_OBS=0``): recording drops, snapshots stay empty."""
 
-    def record(self, method: str, service_ns: int, error: bool) -> None:
+    def record(
+        self, method: str, service_ns: int, error: bool, end_ns: int = 0
+    ) -> None:
         pass
 
 

@@ -3,7 +3,9 @@
 A *trace id* is a 64-bit integer a caller mints once per logical
 operation (:func:`start_trace`); every wire RPC the calling thread
 issues while the trace is open carries it as the optional third field of
-the ``("rpc", payload, trace_id)`` envelope. On the serving side the
+the ``("rpc", payload, trace)`` envelope — a bare trace id historically,
+a ``(trace_id, span_id)`` pair once the caller also mints span ids
+(:mod:`repro.obs.spans`); :func:`set_server_context` accepts both. On the serving side the
 transport loop opens a *server context* — trace id, measured queue wait,
 request bytes — around the dispatched sub-calls, which is where the
 slow-RPC ring log (:mod:`repro.obs.telemetry`) gets its queue-wait vs
@@ -60,11 +62,48 @@ def end_trace() -> None:
     _tls.trace = None
 
 
+def set_op_span(span_id: int | None) -> int | None:
+    """Install the calling thread's *operation span* id (the parent every
+    caller-side RPC span links to); returns the previous value so scopes
+    nest. ``None`` clears it."""
+    prev = getattr(_tls, "op_span", None)
+    _tls.op_span = span_id
+    return prev
+
+
+def current_op_span() -> int | None:
+    """The calling thread's open operation span id, or None."""
+    return getattr(_tls, "op_span", None)
+
+
+def swap_op_mark(mark_ns: int | None) -> int | None:
+    """Swap the calling thread's *coverage watermark* — the span-time up
+    to which the open operation's wall clock is already covered by a
+    recorded span. ``trace_operation`` seeds it with the op's start, each
+    recorded RPC batch advances it to the batch's end (recording a
+    ``client`` span over the compute gap it skipped), and the op's exit
+    restores the previous mark so scopes nest. Returns the prior value;
+    ``None`` means no span-recording op is open on this thread."""
+    prev = getattr(_tls, "op_mark", None)
+    _tls.op_mark = mark_ns
+    return prev
+
+
 def set_server_context(
-    trace_id: int | None, queue_ns: int, request_bytes: int
+    trace: "int | tuple | None", queue_ns: int, request_bytes: int
 ) -> None:
-    """Open the serving-side context for the wire RPC being dispatched."""
-    _tls.server = (trace_id, queue_ns, request_bytes)
+    """Open the serving-side context for the wire RPC being dispatched.
+
+    ``trace`` is whatever rode the envelope's third field: a bare trace
+    id (pre-span peers) or a ``(trace_id, parent_span_id)`` pair minted
+    by a span-aware caller. Normalizing here keeps every transport
+    loop's decode site unchanged.
+    """
+    if isinstance(trace, tuple):
+        trace_id, parent = trace[0], trace[1]
+    else:
+        trace_id, parent = trace, None
+    _tls.server = (trace_id, queue_ns, request_bytes, parent)
 
 
 def server_context() -> tuple:
@@ -73,11 +112,21 @@ def server_context() -> tuple:
     same-thread drivers) with zero queue wait."""
     ctx = getattr(_tls, "server", None)
     if ctx is not None:
-        return ctx
+        return ctx[:3]
     trace = getattr(_tls, "trace", None)
     if trace is not None:
         return (trace, 0, 0)
     return NO_SERVER_CONTEXT
+
+
+def server_span_parent() -> int | None:
+    """The span id the RPC being served should parent to: the caller's
+    RPC-group span from the wire, or — on the same-thread drivers, where
+    no envelope exists — the caller's open operation span."""
+    ctx = getattr(_tls, "server", None)
+    if ctx is not None:
+        return ctx[3]
+    return current_op_span()
 
 
 def clear_server_context() -> None:

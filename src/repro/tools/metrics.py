@@ -17,6 +17,10 @@ up with ``abort()`` — the operator's agents keep serving::
     # check (per-method histogram counts must equal served sub-calls)
     python -m repro.tools.metrics --endpoints @cluster.json --json --check
 
+    # live operation: re-scrape every 2 s, reprinting the table with a
+    # Δcount column against the previous scrape (Ctrl-C to stop)
+    python -m repro.tools.metrics --endpoints @cluster.json --watch 2
+
 ``main(argv)`` is a plain function, unit-testable without a subprocess.
 """
 
@@ -25,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.errors import RemoteError, ReproError
 from repro.net.address import ClusterMap
@@ -69,6 +74,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="slow spans shown in the table (default: 8)",
     )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep the connections open and re-scrape every SECONDS, "
+        "reprinting the table with a Δcount column of calls recorded "
+        "since the previous scrape (Ctrl-C to stop)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,  # test hook: stop --watch after N rescrapes
+    )
     return parser
 
 
@@ -98,18 +118,42 @@ def main(argv: list[str] | None = None) -> int:
         try:
             driver.wait_connected(timeout=args.timeout)
             metrics = scrape_driver(driver, source="tcp")
+            if args.as_json:
+                json.dump(metrics, sys.stdout, indent=2)
+                print()
+            else:
+                print(render_metrics(metrics, slow_limit=args.slow))
+            # --watch: live operation — re-scrape on a cadence and reprint
+            # with deltas against the previous scrape. Still control-only
+            # traffic: watching never perturbs the workload counters.
+            iterations = args.iterations
+            while args.watch is not None and (
+                iterations is None or iterations > 0
+            ):
+                time.sleep(args.watch)
+                previous, metrics = metrics, scrape_driver(
+                    driver, source="tcp"
+                )
+                if args.as_json:
+                    json.dump(metrics, sys.stdout, indent=2)
+                    print()
+                else:
+                    print(
+                        render_metrics(
+                            metrics, slow_limit=args.slow, prev=previous
+                        )
+                    )
+                if iterations is not None:
+                    iterations -= 1
         except (TimeoutError, RemoteError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        except KeyboardInterrupt:
+            pass  # Ctrl-C ends a --watch session cleanly
     finally:
         # hang up without shutdown controls: scraping an operator's
         # cluster must never stop it
         driver.abort()
-    if args.as_json:
-        json.dump(metrics, sys.stdout, indent=2)
-        print()
-    else:
-        print(render_metrics(metrics, slow_limit=args.slow))
     if args.check:
         problems = reconcile(metrics)
         for problem in problems:

@@ -129,6 +129,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="compact the journal into a snapshot every N records "
         "(0 disables compaction; default: 1024)",
     )
+    parser.add_argument(
+        "--flight-recorder",
+        metavar="DIR",
+        default=None,
+        help="sample this agent's metrics into a size-bounded JSONL "
+        "segment ring in DIR (created if missing); a crashed agent "
+        "leaves its last seconds of metrics there for post-mortem "
+        "(default: off)",
+    )
+    parser.add_argument(
+        "--flight-interval",
+        type=float,
+        default=1.0,
+        metavar="SEC",
+        help="seconds between flight-recorder samples (default: 1.0)",
+    )
     return parser
 
 
@@ -195,10 +211,22 @@ def main(argv: list[str] | None = None) -> int:
         if lock is not None:
             lock.release()
         return 2
+    recorder = None
     try:
+        if args.flight_recorder is not None:
+            from repro.obs.metrics import agent_metrics
+            from repro.obs.recorder import FlightRecorder
+
+            recorder = FlightRecorder(
+                args.flight_recorder,
+                lambda: agent_metrics(agent),
+                interval_s=args.flight_interval,
+            ).start()
         print(f"READY {agent.endpoint.host} {agent.endpoint.port}", flush=True)
         agent.serve_forever()
     finally:
+        if recorder is not None:
+            recorder.stop()
         if lock is not None:
             lock.release()
     return 0
