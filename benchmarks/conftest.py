@@ -41,11 +41,25 @@ class BenchProfile:
     #: (empty = skipped; only the full profile pays for it)
     fig3c_provider_grid: tuple[int, ...] = ()
     fig3c_provider_iterations: int = 6
+    #: simulated-open-connection tiers for the aio tail-latency sweep
+    #: against a *real* loopback TCP cluster (one coroutine = one client
+    #: program; sockets are multiplexed, so 10k needs no 10k fds)
+    aio_clients: tuple[int, ...] = (256, 2048)
+
+
+def _aio_clients_override() -> tuple[int, ...] | None:
+    """Comma-separated ``REPRO_BENCH_AIO_CLIENTS`` (e.g. ``"256"`` for the
+    CI fast tier, ``"256,2048,10240"`` for a manual full sweep)."""
+    raw = os.environ.get("REPRO_BENCH_AIO_CLIENTS", "").strip()
+    if not raw:
+        return None
+    return tuple(int(part) for part in raw.split(","))
 
 
 @pytest.fixture(scope="session")
 def profile() -> BenchProfile:
     full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    aio = _aio_clients_override()
     if full:
         return BenchProfile(
             full=True,
@@ -55,6 +69,7 @@ def profile() -> BenchProfile:
             ablation_iterations=15,
             fig3c_lsst_clients=(20, 32, 48, 64),
             fig3c_provider_grid=(40, 80, 160),
+            aio_clients=aio or (256, 2048, 10240),
         )
     return BenchProfile(
         full=False,
@@ -62,6 +77,7 @@ def profile() -> BenchProfile:
         fig3c_iterations=8,
         ablation_clients=(1, 4, 8),
         ablation_iterations=8,
+        aio_clients=aio or (256, 2048),
     )
 
 

@@ -1,10 +1,16 @@
-"""Blocking client facade over the sans-io protocols.
+"""Client facades over the sans-io protocols.
 
 A :class:`BlobClient` binds a driver (in-process or threaded), a metadata
 router and a private metadata cache, and exposes the paper's primitives as
 ordinary methods. Many clients may share one driver — each keeps its own
 cache and write-uid sequence, exactly like independent client processes in
 the paper's deployment.
+
+:class:`AsyncBlobClient` is the coroutine twin for the aio driver
+(:mod:`repro.net.aio`): same protocols, same cache and write-uid
+semantics, but every primitive is awaitable, so thousands of client
+coroutines can share one event loop — the many-open-connections shape
+the paper's 64-thread client tier cannot express.
 """
 
 from __future__ import annotations
@@ -203,6 +209,161 @@ class BlobClient:
         snapshots (paper lists GC as client-ordered; see repro.core.gc)."""
         geom = self.open(blob_id)
         return self.driver.run(
+            gc_protocol(
+                blob_id, geom, tuple(keep_versions), self.router,
+                tuple(data_ids), tuple(meta_ids),
+            )
+        )
+
+
+class AsyncBlobClient:
+    """One logical client of the blob service, as awaitable coroutines.
+
+    Binds an :class:`repro.net.aio.AioDriver` (any driver exposing an
+    awaitable ``drive(proto)``) and runs the *same* sans-io protocols as
+    :class:`BlobClient` — a method here and its blocking twin produce
+    bit-identical wire traffic. Methods must be awaited from coroutines
+    running on the driver's event loop (``driver.run_async`` /
+    ``driver.spawn`` put them there). The geometry map and metadata
+    cache are shared safely because all awaiting coroutines interleave
+    on that single loop thread.
+    """
+
+    def __init__(
+        self,
+        driver,
+        router: StaticRouter,
+        *,
+        name: str | None = None,
+        cache_capacity: int = DEFAULT_CAPACITY,
+        elastic: bool = False,
+    ) -> None:
+        self.driver = driver
+        self.router = router
+        self.elastic = elastic
+        self.name = name or f"client-{next(_client_seq)}"
+        self.cache: MetadataCache | None = (
+            MetadataCache(cache_capacity) if cache_capacity > 0 else None
+        )
+        self._geoms: dict[str, TreeGeometry] = {}
+
+    # -- blob lifecycle ---------------------------------------------------
+
+    async def alloc(self, total_size: int, pagesize: int) -> str:
+        """Create a blob (paper's ALLOC); returns its globally unique id."""
+        blob_id = await self.driver.drive(alloc_protocol(total_size, pagesize))
+        self._geoms[blob_id] = TreeGeometry(total_size, pagesize)
+        return blob_id
+
+    async def open(self, blob_id: str) -> TreeGeometry:
+        """Learn (and cache) the geometry of an existing blob."""
+        geom = self._geoms.get(blob_id)
+        if geom is None:
+            total_size, pagesize, _ = await self.driver.drive(
+                stat_protocol(blob_id)
+            )
+            geom = TreeGeometry(total_size, pagesize)
+            self._geoms[blob_id] = geom
+        return geom
+
+    async def geometry(self, blob_id: str) -> TreeGeometry:
+        """Alias of :meth:`open` (matches the blocking facade)."""
+        return await self.open(blob_id)
+
+    async def latest(self, blob_id: str) -> int:
+        """Latest published version number."""
+        return (await self.driver.drive(stat_protocol(blob_id)))[2]
+
+    # -- WRITE -----------------------------------------------------------
+
+    async def write(self, blob_id: str, data: bytes, offset: int) -> WriteResult:
+        """Page-aligned WRITE of real bytes; returns the assigned version."""
+        geom = await self.open(blob_id)
+        return await self.write_pages(
+            blob_id, offset, split_pages(data, geom.pagesize)
+        )
+
+    async def write_pages(
+        self, blob_id: str, offset: int, payloads: Sequence[PagePayload]
+    ) -> WriteResult:
+        """WRITE pre-split page payloads at a page-aligned offset."""
+        geom = await self.open(blob_id)
+        return await self.driver.drive(
+            write_protocol(
+                blob_id, geom, offset, payloads, self.router,
+                fresh_write_uid(self.name), hashed_alloc=self.elastic,
+            )
+        )
+
+    async def write_virtual(
+        self, blob_id: str, offset: int, size: int
+    ) -> WriteResult:
+        """WRITE with virtual payloads (protocol exercised, no real bytes)."""
+        geom = await self.open(blob_id)
+        return await self.write_pages(
+            blob_id, offset, virtual_pages(size, geom.pagesize)
+        )
+
+    # -- READ ------------------------------------------------------------
+
+    async def read(
+        self,
+        blob_id: str,
+        offset: int,
+        size: int,
+        version: int = LATEST,
+        with_data: bool = True,
+    ) -> ReadResult:
+        """READ a segment out of snapshot ``version`` (default: latest)."""
+        geom = await self.open(blob_id)
+        return await self.driver.drive(
+            read_protocol(
+                blob_id, geom, offset, size, self.router,
+                version=version, cache=self.cache, with_data=with_data,
+                locate_fallback=self.elastic,
+            )
+        )
+
+    async def read_bytes(
+        self, blob_id: str, offset: int, size: int, version: int = LATEST
+    ) -> bytes:
+        """READ and return the segment's bytes."""
+        result = await self.read(blob_id, offset, size, version=version)
+        assert result.data is not None
+        return result.data
+
+    async def read_into(
+        self,
+        blob_id: str,
+        out: bytearray | memoryview,
+        offset: int,
+        version: int = LATEST,
+    ) -> ReadResult:
+        """READ ``len(out)`` bytes at ``offset`` straight into ``out``
+        (same zero-copy scatter as the blocking facade)."""
+        geom = await self.open(blob_id)
+        size = memoryview(out).nbytes
+        return await self.driver.drive(
+            read_protocol(
+                blob_id, geom, offset, size, self.router,
+                version=version, cache=self.cache, out=out,
+                locate_fallback=self.elastic,
+            )
+        )
+
+    # -- garbage collection ------------------------------------------------
+
+    async def gc(
+        self,
+        blob_id: str,
+        keep_versions: Sequence[int],
+        data_ids: Sequence[int],
+        meta_ids: Sequence[int],
+    ) -> GCStats:
+        """Client-ordered GC: drop everything unreachable from the kept
+        snapshots (paper lists GC as client-ordered; see repro.core.gc)."""
+        geom = await self.open(blob_id)
+        return await self.driver.drive(
             gc_protocol(
                 blob_id, geom, tuple(keep_versions), self.router,
                 tuple(data_ids), tuple(meta_ids),

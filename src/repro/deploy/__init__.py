@@ -13,6 +13,10 @@ Five deployments mirror the five drivers:
 - :func:`~repro.deploy.tcp.build_tcp` — provider actors behind node
   agents reached over real TCP connections: the cluster deployment,
   launched as loopback OS processes (CI) or dialed on real hosts.
+  ``build_tcp(spec, client="aio")`` keeps the same cluster but swaps the
+  client tier for :class:`~repro.net.aio.AioDriver` — one asyncio event
+  loop multiplexing every peer socket, awaitable clients via
+  ``dep.async_client()`` — for thousands of concurrent client programs.
 - :class:`~repro.deploy.simulated.SimDeployment` — actors on simulated
   cluster nodes with calibrated costs; the benchmark substrate.
 """

@@ -49,11 +49,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence, Union
 
-from repro.core.client import BlobClient
+from repro.core.client import AsyncBlobClient, BlobClient
 from repro.core.config import DeploymentSpec
 from repro.errors import ConfigError
 from repro.metadata.router import StaticRouter
 from repro.net.address import CONTROL_ACTORS, ClusterMap, Endpoint, format_actor
+from repro.net.aio import AioDriver
 from repro.net.tcp import TcpDriver
 from repro.providers.manager import ProviderManager
 from repro.providers.strategies import make_strategy
@@ -244,7 +245,9 @@ class _AgentProcess:
 @dataclass
 class TcpDeployment:
     spec: DeploymentSpec
-    driver: TcpDriver
+    #: TcpDriver (one thread pair per peer) or AioDriver (one event loop
+    #: multiplexing every peer) — same registration and execution surface
+    driver: Union[TcpDriver, AioDriver]
     router: StaticRouter
     #: live objects when the control plane is in-parent, proxies when it
     #: runs on its own agents (same inspection surface either way)
@@ -294,6 +297,24 @@ class TcpDeployment:
         )
         self._clients.append(c)
         return c
+
+    def async_client(self, name: str | None = None) -> AsyncBlobClient:
+        """A coroutine-facade client (``build_tcp(..., client="aio")``
+        deployments only): awaitable read/write/read_into sharing the
+        deployment's event-loop driver. Any number of these can run
+        concurrently as coroutines — the high-concurrency client tier."""
+        if not hasattr(self.driver, "drive"):
+            raise ConfigError(
+                "async_client() needs the aio driver; build the deployment "
+                "with build_tcp(..., client='aio')"
+            )
+        return AsyncBlobClient(
+            self.driver,
+            self.router,
+            name=name,
+            cache_capacity=self.spec.cache_capacity,
+            elastic=self.spec.strategy == "hash_ring",
+        )
 
     @property
     def data_ids(self) -> list[int]:
@@ -547,6 +568,7 @@ def build_tcp(
     connect_timeout: float = 5.0,
     control_plane: str | None = None,
     state_dir: str | os.PathLike | None = None,
+    client: str = "threaded",
 ) -> TcpDeployment:
     """Assemble a TCP cluster deployment (context-manage it to stop it).
 
@@ -568,6 +590,15 @@ def build_tcp(
     :meth:`TcpDeployment.restart_agent` then resumes the same version
     history. In connected mode the operator owns the agents' state dirs,
     so passing one here is a :class:`~repro.errors.ConfigError`.
+
+    ``client`` picks the caller-side transport: ``"threaded"`` (default)
+    is the :class:`~repro.net.tcp.TcpDriver` with one sender/receiver
+    thread pair per peer; ``"aio"`` is the
+    :class:`~repro.net.aio.AioDriver`, one event loop multiplexing every
+    peer socket, which additionally enables
+    :meth:`TcpDeployment.async_client` for thousands of concurrent
+    client coroutines. The wire traffic is identical either way (the
+    conformance suite certifies both against the same fingerprints).
     """
     spec = spec or DeploymentSpec()
     endpoints = endpoints if endpoints is not None else (spec.endpoints or None)
@@ -579,6 +610,10 @@ def build_tcp(
         raise ConfigError(
             "state_dir applies to launched clusters; operator-run agents "
             "(endpoints=...) configure --state-dir on their own command lines"
+        )
+    if client not in ("threaded", "aio"):
+        raise ConfigError(
+            f"client must be 'threaded' or 'aio', got {client!r}"
         )
 
     agents: list[_AgentProcess] = []
@@ -650,7 +685,11 @@ def build_tcp(
             if ("meta", i) not in cluster_map:
                 raise ConfigError(f"no endpoint for actor 'meta/{i}'")
 
-        driver = TcpDriver(connect_timeout=connect_timeout)
+        driver: Union[TcpDriver, AioDriver]
+        if client == "aio":
+            driver = AioDriver(connect_timeout=connect_timeout)
+        else:
+            driver = TcpDriver(connect_timeout=connect_timeout)
         try:
             if remote_cp:
                 driver.register_remote("vm", cluster_map.endpoint_for("vm"))

@@ -16,6 +16,9 @@ drivers execute them:
 - :class:`~repro.net.tcp.TcpDriver` — actors behind ``host:port`` node
   agents (:mod:`repro.net.node`), same frames over real TCP connections
   with reconnect-safe fail-over: the multi-host cluster deployment;
+- :class:`~repro.net.aio.AioDriver` — the same TCP agents driven from a
+  single asyncio event loop multiplexing every peer socket: thousands of
+  concurrent client coroutines instead of one thread per client;
 - :class:`~repro.net.simdriver.SimRpcExecutor` — runs protocols as processes
   on the discrete-event cluster with full cost accounting, used by every
   benchmark.
@@ -32,6 +35,7 @@ from repro.net.threaded import ThreadedDriver
 from repro.net.process import ProcessDriver
 from repro.net.node import NodeAgent
 from repro.net.tcp import TcpDriver
+from repro.net.aio import AioDriver
 from repro.net.simdriver import SimRpcExecutor
 
 __all__ = [
@@ -50,5 +54,6 @@ __all__ = [
     "ProcessDriver",
     "NodeAgent",
     "TcpDriver",
+    "AioDriver",
     "SimRpcExecutor",
 ]

@@ -192,6 +192,38 @@ def record_rpc_span(
     )
 
 
+def advance_op_mark(
+    trace: int,
+    parent: int | None,
+    t_start_ns: int,
+    t_end_ns: int,
+) -> None:
+    """Advance this thread's coverage watermark over one covered window.
+
+    The watermark half of :func:`record_group_spans`, factored out for
+    drivers whose wire activity happens off the calling thread (the aio
+    driver records rpc spans from its event loop): the caller-side
+    compute gap between the thread's current watermark and
+    ``t_start_ns`` becomes a ``client`` span, and the watermark advances
+    to ``t_end_ns`` — so the window's interior counts as covered op time
+    even though its rpc spans were recorded elsewhere. Timestamps are
+    absolute ``perf_counter_ns`` readings. When no op is open on this
+    thread the watermark is left unset and nothing is recorded.
+    """
+    start = to_span_ns(t_start_ns)
+    end = to_span_ns(t_end_ns)
+    mark = swap_op_mark(end)
+    if mark is None:
+        swap_op_mark(None)  # no op open: leave the watermark unset
+    elif start > mark:
+        CALLER.record(
+            make_span(
+                trace, new_span_id(), parent, "client", "client", "client",
+                mark, start,
+            )
+        )
+
+
 def record_group_spans(
     trace: int,
     parent: int | None,
@@ -213,23 +245,15 @@ def record_group_spans(
     version tree to build the next batch) is wall time of the traced op
     too: when an op's coverage watermark is open on this thread, the gap
     from the watermark to this batch's start is recorded as a ``client``
-    span and the watermark advances to the batch's end — so a timeline
-    accounts for (nearly) every nanosecond of the op, not just the wire.
+    span and the watermark advances to the batch's end
+    (:func:`advance_op_mark`) — so a timeline accounts for (nearly)
+    every nanosecond of the op, not just the wire.
     """
     from repro.net.address import format_actor
 
+    advance_op_mark(trace, parent, t_enq_ns, t_done_ns)
     start = to_span_ns(t_enq_ns)
     end = to_span_ns(t_done_ns)
-    mark = swap_op_mark(end)
-    if mark is None:
-        swap_op_mark(None)  # no op open: leave the watermark unset
-    elif start > mark:
-        CALLER.record(
-            make_span(
-                trace, new_span_id(), parent, "client", "client", "client",
-                mark, start,
-            )
-        )
     for sid, group in zip(span_ids, groups):
         nbytes = sum(call.payload_bytes() for call in group.calls)
         record_rpc_span(

@@ -318,3 +318,110 @@ def test_encode_rejects_unpicklable_object():
     with pytest.raises(WireCodecError):
         encode_frame(lambda: None)
     assert issubclass(WireCodecError, ReproError)
+
+
+# ---------------------------------------------------------------------------
+# seeded chunk-boundary fuzz (satellite of the aio driver: the async
+# reader hands the decoder arbitrary partial reads, including splits
+# inside the 12-byte message header, far more often than blocking
+# recv loops ever do)
+# ---------------------------------------------------------------------------
+
+
+def _fuzz_payloads(rng):
+    """A seeded mixed bag of realistic message bodies, small and large."""
+    payloads = {}
+    req_id = 1
+    for _ in range(rng.randrange(8, 24)):
+        shape = rng.randrange(4)
+        if shape == 0:
+            body = ("rpc", [("data.stats", ())])
+        elif shape == 1:
+            body = ("rpc", [
+                ("data.put", (("b", rng.randrange(64), rng.randrange(8)),
+                              bytes(rng.randrange(256) for _ in range(rng.randrange(0, 700)))))
+            ])
+        elif shape == 2:
+            body = ("stats", ())
+        else:
+            body = ("rpc", [("meta.get", (rng.randrange(1 << 30),))] * rng.randrange(1, 5))
+        payloads[req_id] = body
+        req_id += rng.choice((1, 1, 1, 7, 1 << 20))  # sparse 64-bit ids too
+    return payloads
+
+
+@pytest.mark.parametrize("seed", [0, 1, 0xC0DEC])
+def test_message_decoder_fuzzed_chunk_boundaries_reassemble(seed):
+    """Feed one encoded stream through the decoder in randomized 1..N-byte
+    slices (seeded): every slicing must yield exactly the original
+    (req_id, body) sequence, bit-identical bodies, regardless of where
+    the cuts land — start of stream, inside the 12-byte header, inside a
+    body, or across several whole messages at once."""
+    import random as random_mod
+
+    rng = random_mod.Random(seed)
+    payloads = _fuzz_payloads(rng)
+    stream = b"".join(encode_message(rid, body) for rid, body in payloads.items())
+
+    for trial in range(25):
+        decoder = MessageDecoder()
+        seen = []
+        pos = 0
+        while pos < len(stream):
+            if trial == 0:
+                step = 1  # pure byte-dribble: every boundary exercised
+            else:
+                # bias toward tiny slices so header splits stay common
+                step = rng.choice((1, 2, 3, 5, 11, rng.randrange(1, 96)))
+            chunk = stream[pos : pos + step]
+            pos += len(chunk)
+            for req_id, body in decoder.feed(chunk):
+                assert isinstance(body, (bytes, bytearray, memoryview))
+                seen.append((req_id, bytes(body)))
+        assert decoder.pending_bytes == 0
+        assert [rid for rid, _ in seen] == list(payloads)
+        for req_id, raw in seen:
+            rebuilt = decode_body(raw)
+            reference = decode_body(
+                encode_message(req_id, payloads[req_id])[12:]
+            )
+            assert type(rebuilt) is type(reference)
+            assert repr(rebuilt) == repr(reference)
+
+
+@pytest.mark.parametrize("seed", [2, 0xBAD])
+def test_message_decoder_fuzzed_corruption_rejected_typed(seed):
+    """Flip the length prefix of a random message to an absurd value (or
+    truncate the stream inside a header) and the decoder must raise
+    WireCodecError — never a struct error, never a silent resync."""
+    import random as random_mod
+
+    rng = random_mod.Random(seed)
+    payloads = _fuzz_payloads(rng)
+    frames = [encode_message(rid, body) for rid, body in payloads.items()]
+    victim = rng.randrange(len(frames))
+    corrupt = bytearray(b"".join(frames))
+    offset = sum(len(f) for f in frames[:victim])
+    corrupt[offset : offset + 4] = b"\xff\xff\xff\xff"  # > MAX_FRAME_BYTES
+
+    decoder = MessageDecoder()
+    with pytest.raises(WireCodecError):
+        pos, step_rng = 0, random_mod.Random(seed ^ 1)
+        while pos < len(corrupt):
+            step = step_rng.randrange(1, 32)
+            list(decoder.feed(bytes(corrupt[pos : pos + step])))
+            pos += step
+
+    # messages *before* the corruption must still have been delivered
+    # (the decoder fails exactly at the poisoned header, not earlier)
+    good_decoder = MessageDecoder()
+    delivered = []
+    try:
+        pos = 0
+        while pos < len(corrupt):
+            for rid, _ in good_decoder.feed(bytes(corrupt[pos : pos + 7])):
+                delivered.append(rid)
+            pos += 7
+    except WireCodecError:
+        pass
+    assert delivered == list(payloads)[:victim]
